@@ -1,0 +1,37 @@
+"""Benchmark-suite configuration.
+
+Experiment benchmarks run full training experiments: each is executed
+exactly once (``benchmark.pedantic(rounds=1, iterations=1)``) and its
+harness output — the paper's table/figure rows — is printed so a benchmark
+run doubles as the reproduction record.  Micro-benchmarks (``test_micro_*``)
+use normal pytest-benchmark statistics.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment knobs:
+
+- ``REPRO_BENCH_FULL=1`` — use the paper's full 16 epochs and 64-host
+  scaling points (several times slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a whole experiment exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

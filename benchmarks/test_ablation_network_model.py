@@ -1,0 +1,63 @@
+"""Ablation: sensitivity of modeled times to the network-model calibration.
+
+The simulated cluster records exact per-phase byte traffic; wall-clock
+communication is then *priced* by an α–β model (DESIGN.md §3).  This
+benchmark trains once and re-prices the same recorded traffic under the
+scaled default model and under face-value 56 Gb/s InfiniBand, making the
+calibration's effect fully transparent (EXPERIMENTS.md "Network model
+calibration").
+"""
+
+from repro.cluster.network import INFINIBAND_56G, SCALED_DEFAULT, NetworkModel
+from repro.experiments import datasets, harness
+from repro.util.tables import format_table
+from repro.w2v.distributed import GraphWord2Vec
+
+HOSTS = 8
+
+
+def test_ablation_network_model_sensitivity(once):
+    corpus, _ = datasets.load("tiny-sim")
+    params = harness.experiment_params(epochs=1, dim=32)
+
+    def work():
+        trainer = GraphWord2Vec(corpus, params, num_hosts=HOSTS, seed=7)
+        result = trainer.train()
+        return trainer, result
+
+    trainer, result = once(work)
+    compute_s = result.report.breakdown.compute_s
+    records = trainer.network.phase_records
+
+    models = {
+        "scaled default": SCALED_DEFAULT,
+        "InfiniBand 56G (face value)": INFINIBAND_56G,
+        "10x slower than default": NetworkModel(
+            latency_s=SCALED_DEFAULT.latency_s,
+            bandwidth_Bps=SCALED_DEFAULT.bandwidth_Bps / 10,
+        ),
+    }
+    rows = []
+    priced = {}
+    for name, model in models.items():
+        comm_s = model.total_time(records)
+        priced[name] = comm_s
+        rows.append(
+            [
+                name,
+                f"{compute_s:.3f}",
+                f"{comm_s:.3f}",
+                f"{comm_s / max(compute_s, 1e-12):.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Network model", "Compute (s)", "Comm (s)", "Comm/Compute"],
+            rows,
+            title=f"Ablation: re-pricing one {HOSTS}-host epoch's recorded traffic.",
+        )
+    )
+    # Identical bytes, different prices: ordering must follow bandwidth.
+    assert priced["InfiniBand 56G (face value)"] < priced["scaled default"]
+    assert priced["scaled default"] < priced["10x slower than default"]

@@ -1,0 +1,68 @@
+"""Extension benchmark: partitioning-policy quality (the paper's ref [10]).
+
+Compares OEC / IEC / CVC replication factor and edge balance on a skewed
+(power-law destination) graph at 16 hosts — the study that motivates policy
+choice in D-Galois — plus the replicate-all policy GraphWord2Vec uses.
+"""
+
+import numpy as np
+
+from repro.gluon.partition_stats import analyze_partitions
+from repro.gluon.partitioner import partition_edges, replicate_all_partitions
+from repro.util.tables import format_table
+
+HOSTS = 16
+
+
+def make_skewed_graph(n=3000, m=40_000, seed=0):
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    p = ranks ** -1.1
+    p /= p.sum()
+    src = rng.integers(0, n, m)
+    dst = rng.choice(n, size=m, p=p)
+    keep = src != dst
+    return src[keep], dst[keep], n
+
+
+def test_ext_partition_policy_comparison(once):
+    src, dst, n = make_skewed_graph()
+
+    def work():
+        stats = {}
+        for policy in ("oec", "iec", "cvc"):
+            stats[policy] = analyze_partitions(
+                partition_edges(src, dst, n, HOSTS, policy=policy)
+            )
+        stats["replicate-all"] = analyze_partitions(
+            replicate_all_partitions(n, HOSTS)
+        )
+        return stats
+
+    stats = once(work)
+    print()
+    print(
+        format_table(
+            ["Policy", "Replication factor", "Edge balance", "Master balance"],
+            [
+                [
+                    name,
+                    f"{s.replication_factor:.2f}",
+                    f"{s.edge_balance:.2f}",
+                    f"{s.master_balance:.2f}",
+                ]
+                for name, s in stats.items()
+            ],
+            title=f"Extension: partition quality on a power-law graph, {HOSTS} hosts.",
+        )
+    )
+    # Edge cuts replicate between 1 and H; replicate-all is exactly H.
+    for policy in ("oec", "iec", "cvc"):
+        assert 1.0 < stats[policy].replication_factor < HOSTS
+    assert stats["replicate-all"].replication_factor == HOSTS
+    # CVC caps hub replication: its factor should not exceed the worst edge
+    # cut by much on skewed graphs.
+    worst_edge_cut = max(
+        stats["oec"].replication_factor, stats["iec"].replication_factor
+    )
+    assert stats["cvc"].replication_factor <= worst_edge_cut * 1.5

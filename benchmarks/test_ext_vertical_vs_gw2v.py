@@ -1,0 +1,63 @@
+"""Extension benchmark: data-parallel GW2V vs vertical partitioning (§6).
+
+Ordentlich et al.'s column-partitioned design communicates scores after
+*every* mini-batch (volume independent of dim, proportional to pairs);
+GraphWord2Vec communicates model deltas a few times per epoch (volume
+proportional to touched-vocab x dim x rounds).  This benchmark measures
+both on the same corpus and prints the trade-off the paper's related-work
+section describes, plus the per-host memory the vertical design saves.
+"""
+
+from repro.baselines.vertical import VerticalPartitionWord2Vec
+from repro.experiments import datasets, harness
+from repro.util.tables import format_bytes, format_table
+from repro.w2v.distributed import GraphWord2Vec
+
+HOSTS = 4
+
+
+def test_ext_vertical_vs_gw2v(once):
+    corpus, _ = datasets.load("tiny-sim")
+    params = harness.experiment_params(epochs=1, dim=64)
+
+    def work():
+        gw = GraphWord2Vec(corpus, params, num_hosts=HOSTS, seed=7)
+        gw_result = gw.train()
+        vertical = VerticalPartitionWord2Vec(
+            corpus, params, num_hosts=HOSTS, seed=7
+        )
+        vertical.train()
+        return gw_result, vertical
+
+    gw_result, vertical = once(work)
+    gw_report = gw_result.report
+    v_net = vertical.network
+    rows = [
+        [
+            "GraphWord2Vec (RepModel-Opt)",
+            gw_report.comm_messages,
+            format_bytes(gw_report.comm_bytes),
+            gw_report.sync_rounds_per_epoch,
+            format_bytes(gw_result.model.memory_bytes()),
+        ],
+        [
+            "Vertical (Ordentlich et al.)",
+            v_net.total_messages,
+            format_bytes(v_net.total_bytes),
+            vertical.batches_processed,
+            format_bytes(vertical.per_host_memory_bytes()),
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["System", "Messages", "Volume", "Sync events", "Model bytes/host"],
+            rows,
+            title=f"Extension: communication profile at {HOSTS} hosts, 1 epoch.",
+        )
+    )
+    # The paper's claim: per-mini-batch synchronization means far more
+    # communication *events*; GW2V synchronizes a handful of times.
+    assert vertical.batches_processed > gw_report.sync_rounds_per_epoch * 10
+    # The vertical design's selling point: per-host model memory shrinks.
+    assert vertical.per_host_memory_bytes() < gw_result.model.memory_bytes()

@@ -1,0 +1,32 @@
+"""Figure 6 — accuracy per epoch for SM / MC / AVG at several learning rates.
+
+Shape targets (paper): SM converges fastest; MC at the sequential learning
+rate converges far above AVG at the same rate; AVG at lr*32 = 0.8 diverges
+to ~0 accuracy.
+"""
+
+from benchmarks.conftest import full_scale
+from repro.experiments import fig6
+
+
+def test_fig6_reduction_and_learning_rates(once):
+    epochs = 16 if full_scale() else 8
+    series = once(fig6.run, epochs=epochs)
+    print()
+    print(fig6.format_result(series))
+    by_label = {s.label: s.accuracy_by_epoch for s in series}
+    sm = by_label["SM lr=0.025 (1 host)"]
+    mc = by_label["MC lr=0.025 (32 hosts)"]
+    avg_seq = by_label["AVG lr=0.025 (32 hosts)"]
+    avg_big = by_label["AVG lr=0.8 (32 hosts)"]
+    final = epochs - 1
+    # SM reaches high accuracy; MC follows without lr tuning.
+    assert sm[final] > 0.6
+    assert mc[final] > 0.3
+    # MC beats AVG at the same (untuned) learning rate.
+    assert mc[final] > avg_seq[final]
+    # The 32x learning rate diverges.
+    assert avg_big[final] < 0.05
+    # Early training: SM is ahead of every distributed configuration.
+    mid = min(3, final)
+    assert sm[mid] >= max(mc[mid], avg_seq[mid])

@@ -1,0 +1,32 @@
+"""Figure 8 — strong scaling of the three communication plans.
+
+Shape targets (paper): every plan scales well to 32 hosts (8.5-10.5x over
+1 host on 1-billion); RepModel-Opt is the fastest variant at scale;
+PullModel pays an inspection overhead over RepModel-Opt.
+"""
+
+from benchmarks.conftest import full_scale
+from repro.experiments import fig8
+
+
+def test_fig8_strong_scaling(once):
+    hosts = (1, 2, 4, 8, 16, 32, 64) if full_scale() else fig8.HOST_COUNTS
+    points = once(fig8.run, host_counts=hosts)
+    print()
+    print(fig8.format_result(points))
+    by = {(p.plan, p.hosts): p for p in points}
+
+    for plan in ("RepModel-Naive", "RepModel-Opt", "PullModel"):
+        t1 = by[(plan, 1)].time_s
+        t32 = by[(plan, 32)].time_s
+        speedup = t1 / t32
+        print(f"{plan}: 32-host speedup {speedup:.1f}x")
+        assert speedup > 4.0, f"{plan} does not scale"
+
+    # Opt exploits sparsity: it never moves more bytes than Naive, and at
+    # 32 hosts it is at least as fast.
+    assert by[("RepModel-Opt", 32)].comm_bytes < by[("RepModel-Naive", 32)].comm_bytes
+    assert by[("RepModel-Opt", 32)].time_s <= by[("RepModel-Naive", 32)].time_s * 1.05
+    # PullModel pays inspection time that the RepModel variants do not.
+    assert by[("PullModel", 32)].inspection_s > 0
+    assert by[("RepModel-Opt", 32)].inspection_s == 0

@@ -1,0 +1,18 @@
+"""Table 1 — dataset generation and properties."""
+
+from repro.experiments import table1
+
+
+def test_table1_datasets(once):
+    rows = once(table1.run)
+    print()
+    print(table1.format_result(rows))
+    assert len(rows) == 3
+    # Relative proportions of the paper hold: wiki biggest in both axes.
+    by_name = {r["dataset"]: r for r in rows}
+    assert (
+        by_name["wiki-sim"]["training_words"]
+        > by_name["news-sim"]["training_words"]
+        > by_name["1-billion-sim"]["training_words"]
+    )
+    assert by_name["wiki-sim"]["vocabulary_words"] > by_name["news-sim"]["vocabulary_words"]

@@ -1,0 +1,31 @@
+"""Table 2 — training time: W2V and GEM (1 host) vs GW2V (32 hosts).
+
+Shape targets (paper: ~14x geo-mean speedup, GEM OOM on wiki): GW2V's
+modeled 32-host time is far below W2V's measured 1-host time on every
+dataset, and the GEM-style trainer exceeds its (scaled) memory budget on
+wiki-sim.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import full_scale
+from repro.experiments import table23
+
+
+def test_table2_execution_time(once):
+    epochs = 16 if full_scale() else 8
+    rows = once(table23.run, epochs=epochs)
+    print()
+    print(table23.format_table2(rows))
+    assert len(rows) == 3
+    for row in rows:
+        assert row.speedup > 1.0, f"{row.dataset}: no speedup"
+    # Geo-mean speedup is large (paper: 14x; simulation differs in kernel
+    # granularity, see EXPERIMENTS.md).
+    geo = float(np.exp(np.mean([np.log(r.speedup) for r in rows])))
+    print(f"geo-mean speedup: {geo:.1f}x")
+    assert geo > 4.0
+    # GEM OOMs on the wiki-scale dataset only.
+    assert rows[0].gem_seconds is not None
+    assert rows[1].gem_seconds is not None
+    assert rows[2].gem_seconds is None

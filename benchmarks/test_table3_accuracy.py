@@ -1,0 +1,25 @@
+"""Table 3 — accuracy of W2V/GEM (1 host) vs GW2V (32 hosts).
+
+Shape target (paper: GW2V within ~1.3 points of the shared-memory systems):
+distributed training with the model combiner retains most of the
+single-host accuracy on every dataset — at this reproduction's 10^3 x
+reduced scale we assert GW2V keeps a clear majority of the W2V accuracy
+(EXPERIMENTS.md discusses the residual gap).
+"""
+
+from benchmarks.conftest import full_scale
+from repro.experiments import table23
+
+
+def test_table3_accuracy(once):
+    epochs = 16 if full_scale() else 8
+    rows = once(table23.run, epochs=epochs)
+    print()
+    print(table23.format_table3(rows))
+    for row in rows:
+        assert row.w2v_accuracy is not None and row.gw2v_accuracy is not None
+        assert row.w2v_accuracy.total > 0.3, f"{row.dataset}: W2V failed to learn"
+        assert row.gw2v_accuracy.total > 0.25, f"{row.dataset}: GW2V failed to learn"
+        assert (
+            row.gw2v_accuracy.total > 0.5 * row.w2v_accuracy.total
+        ), f"{row.dataset}: distributed accuracy collapsed"

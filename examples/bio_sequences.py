@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Embedding biological sequences (BioVec/ProtVec-style).
+
+The paper's introduction lists biological sequences among the domains that
+reuse Word2Vec machinery.  This example plants motif families in synthetic
+DNA, tokenizes sequences into overlapping k-mers, trains k-mer embeddings
+with the distributed trainer, and shows that k-mers from the same motif
+cluster together.
+
+Run:  python examples/bio_sequences.py
+"""
+
+import numpy as np
+
+from repro.embeddings.sequences import (
+    SequenceFamilySpec,
+    generate_sequences,
+    kmer_tokenize,
+    train_kmer_embedding,
+)
+from repro.w2v.params import Word2VecParams
+
+K = 6  # 4^6 = 4096 possible 6-mers: motif k-mers stay distinctive
+
+
+def main() -> None:
+    spec = SequenceFamilySpec(
+        num_families=3,
+        sequences_per_family=60,
+        sequence_length=100,
+        motif_length=14,
+        motifs_per_sequence=3,
+        mutation_rate=0.0,
+    )
+    sequences, _labels, motifs = generate_sequences(spec, seed=2)
+    print(
+        f"{len(sequences)} synthetic DNA sequences, {spec.num_families} motif "
+        f"families, k={K} tokenization"
+    )
+    for family, motif in enumerate(motifs):
+        print(f"  family {family} motif: {motif}")
+
+    params = Word2VecParams(
+        dim=32, window=6, negatives=5, epochs=4, subsample_threshold=1e-2
+    )
+    model, corpus = train_kmer_embedding(
+        sequences, k=K, params=params, num_hosts=4, seed=3, combiner="mc"
+    )
+    print(f"k-mer vocabulary: {len(corpus.vocabulary)} of {4 ** K} possible {K}-mers")
+
+    emb = model.normalized_embedding()
+    vocab = corpus.vocabulary
+    motif_kmers = [
+        [k for k in kmer_tokenize(motif, k=K) if k in vocab] for motif in motifs
+    ]
+
+    def mean_cos(group_a, group_b):
+        va = emb[[vocab.id_of(kmer) for kmer in group_a]]
+        vb = emb[[vocab.id_of(kmer) for kmer in group_b]]
+        return float((va @ vb.T).mean())
+
+    intra = float(np.mean([mean_cos(k, k) for k in motif_kmers if len(k) >= 2]))
+    cross = [
+        mean_cos(motif_kmers[i], motif_kmers[j])
+        for i in range(len(motif_kmers))
+        for j in range(i + 1, len(motif_kmers))
+        if motif_kmers[i] and motif_kmers[j]
+    ]
+    inter = float(np.mean(cross))
+    print(f"mean cosine within a motif's k-mers: {intra:+.3f}")
+    print(f"mean cosine across motifs' k-mers:   {inter:+.3f}")
+    assert intra > inter
+    print("motif structure recovered: within-motif similarity dominates")
+
+
+if __name__ == "__main__":
+    main()

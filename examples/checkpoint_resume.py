@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Checkpointing distributed training.
+
+GraphWord2Vec checkpoints are epoch-granular and *exact*: because all work
+generation is a pure function of the seed tree, a paused-and-resumed run
+replays precisely the steps of an uninterrupted one — this script verifies
+the final models are bitwise identical.
+
+Run:  python examples/checkpoint_resume.py
+"""
+
+from repro import GraphWord2Vec, SyntheticCorpusSpec, Word2VecParams, generate_corpus
+
+
+def main() -> None:
+    spec = SyntheticCorpusSpec(
+        num_tokens=15_000, pairs_per_family=5, filler_vocab=200
+    )
+    corpus, _ = generate_corpus(spec, seed=1)
+    params = Word2VecParams(dim=32, epochs=6, negatives=6, subsample_threshold=1e-3)
+
+    def trainer():
+        return GraphWord2Vec(corpus, params, num_hosts=4, combiner="mc", seed=7)
+
+    # Uninterrupted run.
+    straight = trainer().train().model
+
+    # Interrupted run: 3 epochs, checkpoint to bytes (would be a file in
+    # practice), then resume in a brand-new trainer instance.
+    first = trainer()
+    first.train(until_epoch=3)
+    blob = first.save_checkpoint()
+    print(f"checkpoint after epoch 3: {len(blob):,} bytes")
+
+    resumed = trainer()
+    next_epoch = resumed.load_checkpoint(blob)
+    print(f"resumed at epoch {next_epoch}")
+    final = resumed.train().model
+
+    assert final == straight
+    print("verified: resumed model is bitwise identical to the uninterrupted run")
+
+    # A mismatched configuration is refused.
+    other = GraphWord2Vec(corpus, params, num_hosts=8, combiner="mc", seed=7)
+    try:
+        other.load_checkpoint(blob)
+    except ValueError as exc:
+        print(f"mismatched config rejected as expected: {exc}")
+
+
+if __name__ == "__main__":
+    main()

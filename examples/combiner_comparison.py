@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Why the model combiner: convergence vs averaging and summing.
+
+Trains the same corpus four ways — sequentially (SM), and distributed on 16
+hosts with the model combiner (MC), gradient averaging (AVG), and gradient
+summing (SUM) — all at the *same* untuned learning rate, then prints the
+accuracy-per-epoch trajectories (the paper's Figure 6 story).
+
+Run:  python examples/combiner_comparison.py
+"""
+
+import numpy as np
+
+from repro import (
+    GraphWord2Vec,
+    SharedMemoryWord2Vec,
+    SyntheticCorpusSpec,
+    Word2VecParams,
+    evaluate_analogies,
+    generate_corpus,
+)
+
+HOSTS = 16
+EPOCHS = 8
+
+
+def trajectory(corpus, questions, make_trainer):
+    history = []
+    trainer = make_trainer()
+    with np.errstate(over="ignore", invalid="ignore"):
+        trainer.train(
+            lambda _e, model: history.append(
+                evaluate_analogies(model, corpus.vocabulary, questions).total
+            )
+        )
+    return history
+
+
+def sparkline(values):
+    blocks = " ▁▂▃▄▅▆▇█"
+    return "".join(blocks[min(8, int(v * 9))] for v in values)
+
+
+def main() -> None:
+    spec = SyntheticCorpusSpec(
+        num_tokens=40_000, pairs_per_family=6, filler_vocab=300,
+        questions_per_family=10,
+    )
+    corpus, questions = generate_corpus(spec, seed=1)
+    params = Word2VecParams(dim=32, epochs=EPOCHS, negatives=8, subsample_threshold=1e-3)
+
+    configs = {
+        "SM  (1 host, sequential)": lambda: SharedMemoryWord2Vec(corpus, params, seed=7),
+        f"MC  ({HOSTS} hosts)": lambda: GraphWord2Vec(
+            corpus, params, num_hosts=HOSTS, combiner="mc", seed=7
+        ),
+        f"AVG ({HOSTS} hosts)": lambda: GraphWord2Vec(
+            corpus, params, num_hosts=HOSTS, combiner="avg", seed=7
+        ),
+        f"SUM ({HOSTS} hosts)": lambda: GraphWord2Vec(
+            corpus, params, num_hosts=HOSTS, combiner="sum", seed=7
+        ),
+    }
+
+    print(f"total analogy accuracy per epoch (lr={params.learning_rate}, untuned):\n")
+    for label, make in configs.items():
+        history = trajectory(corpus, questions, make)
+        curve = "  ".join(f"{v:5.1%}" for v in history)
+        print(f"{label:28s} {sparkline(history)}   {curve}")
+
+    print(
+        "\nExpected shape: SM fastest; MC tracks it without tuning the\n"
+        "learning rate; AVG is slowed by the mini-batch effect; SUM takes\n"
+        "overly aggressive steps (at paper scale it diverges outright)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Comparator systems the paper evaluates against or argues about.
+
+- :mod:`repro.baselines.sgns_reference` — the shared-memory state of the
+  art: a word2vec.c-style trainer ("W2V", strict per-center-word SGD) and a
+  gensim-style trainer ("GEM", epoch-materialized pairs in large batches,
+  which is also why gensim runs out of memory on the paper's wiki corpus).
+- :mod:`repro.baselines.minibatch` — synchronous data-parallel mini-batch
+  SGD with an ALLREDUCE (sum or average) after every mini-batch (§2.3).
+- :mod:`repro.baselines.param_server` — DistBelief-style asynchronous
+  parameter server with stale gradient pushes (§1), optionally with
+  Zheng-et-al. delay compensation (ref [29]).
+- :mod:`repro.baselines.vertical` — Ordentlich et al.'s column-partitioned
+  ("vertical") distributed Word2Vec (§6 related work).
+"""
+
+from repro.baselines.sgns_reference import (
+    GensimStyleWord2Vec,
+    MemoryBudgetExceeded,
+    Word2VecCReference,
+)
+from repro.baselines.minibatch import MinibatchAllreduceSGD
+from repro.baselines.param_server import AsyncParameterServerSGD
+from repro.baselines.vertical import VerticalPartitionWord2Vec
+
+__all__ = [
+    "Word2VecCReference",
+    "GensimStyleWord2Vec",
+    "MemoryBudgetExceeded",
+    "MinibatchAllreduceSGD",
+    "AsyncParameterServerSGD",
+    "VerticalPartitionWord2Vec",
+]

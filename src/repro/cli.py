@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro datasets                         # Table 1 of the presets
+    repro train [--dataset NAME | --corpus FILE] [--hosts H] [...]
+    repro neighbors --model M.npz --dataset NAME --word W
+    repro eval --model M.npz --dataset NAME
+    repro experiment {table1,table2,table3,fig6,fig7,fig8,fig9}
+
+Invoke as ``python -m repro`` or ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphWord2Vec: distributed Word2Vec on a graph-analytics substrate",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset presets (Table 1)")
+
+    train = sub.add_parser("train", help="train a Word2Vec model")
+    source = train.add_mutually_exclusive_group()
+    source.add_argument("--dataset", default="tiny-sim", help="synthetic preset name")
+    source.add_argument("--corpus", type=Path, help="text file (one sentence per line)")
+    train.add_argument("--hosts", type=int, default=1)
+    train.add_argument("--sync-rounds", type=int, default=None)
+    train.add_argument("--combiner", default="mc", choices=["mc", "avg", "sum", "keep_first"])
+    train.add_argument("--plan", default="opt", choices=["naive", "opt", "pull"])
+    train.add_argument("--dim", type=int, default=64)
+    train.add_argument("--epochs", type=int, default=8)
+    train.add_argument("--window", type=int, default=5)
+    train.add_argument("--negatives", type=int, default=10)
+    train.add_argument("--learning-rate", type=float, default=0.025)
+    train.add_argument("--subsample", type=float, default=1e-3)
+    train.add_argument("--min-count", type=int, default=1)
+    train.add_argument(
+        "--architecture", default="skipgram", choices=["skipgram", "cbow"]
+    )
+    train.add_argument(
+        "--objective", default="negative", choices=["negative", "hierarchical"]
+    )
+    train.add_argument("--seed", type=int, default=7)
+    train.add_argument("--save", type=Path, help="write the trained model (.npz)")
+
+    neighbors = sub.add_parser("neighbors", help="nearest-neighbor queries")
+    neighbors.add_argument("--model", type=Path, required=True)
+    neighbors.add_argument("--dataset", default="tiny-sim")
+    neighbors.add_argument("--word", required=True)
+    neighbors.add_argument("--topn", type=int, default=10)
+
+    evaluate = sub.add_parser("eval", help="analogy accuracy of a saved model")
+    evaluate.add_argument("--model", type=Path, required=True)
+    evaluate.add_argument("--dataset", default="tiny-sim")
+    evaluate.add_argument(
+        "--method", default="add", choices=["add", "mul"],
+        help="analogy objective: 3CosAdd (paper) or 3CosMul",
+    )
+    evaluate.add_argument(
+        "--similarity", action="store_true",
+        help="also report Spearman rho on planted word-similarity pairs",
+    )
+
+    experiment = sub.add_parser("experiment", help="run a paper table/figure")
+    experiment.add_argument(
+        "name",
+        choices=["table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9"],
+    )
+    return parser
+
+
+def _load_corpus(args):
+    from repro.experiments import datasets
+    from repro.text.corpus import Corpus
+
+    if args.corpus is not None:
+        text = args.corpus.read_text()
+        corpus = Corpus.from_text(text, min_count=args.min_count)
+        return corpus, None
+    corpus, questions = datasets.load(args.dataset)
+    return corpus, questions
+
+
+def _params_from(args):
+    from repro.w2v.params import Word2VecParams
+
+    return Word2VecParams(
+        dim=args.dim,
+        window=args.window,
+        negatives=args.negatives,
+        learning_rate=args.learning_rate,
+        epochs=args.epochs,
+        subsample_threshold=args.subsample,
+        min_count=args.min_count,
+        architecture=args.architecture,
+        objective=args.objective,
+    )
+
+
+def _cmd_datasets(_args) -> int:
+    from repro.experiments import table1
+
+    print(table1.format_result(table1.run()))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.eval.analogy import evaluate_analogies
+    from repro.w2v.distributed import GraphWord2Vec
+    from repro.w2v.shared_memory import SharedMemoryWord2Vec
+
+    corpus, questions = _load_corpus(args)
+    params = _params_from(args)
+    print(f"training on {corpus} with {params}")
+    if args.hosts == 1:
+        model = SharedMemoryWord2Vec(corpus, params, seed=args.seed).train()
+    else:
+        trainer = GraphWord2Vec(
+            corpus,
+            params,
+            num_hosts=args.hosts,
+            sync_rounds_per_epoch=args.sync_rounds,
+            combiner=args.combiner,
+            plan=args.plan,
+            seed=args.seed,
+        )
+        result = trainer.train()
+        model = result.model
+        report = result.report
+        print(
+            f"modeled cluster time {report.total_time_s:.2f}s "
+            f"(compute {report.breakdown.compute_s:.2f}s, "
+            f"comm {report.breakdown.communication_s:.2f}s, "
+            f"inspect {report.breakdown.inspection_s:.2f}s); "
+            f"{report.comm_bytes:,} bytes in {report.comm_messages:,} messages"
+        )
+    if questions is not None:
+        print(evaluate_analogies(model, corpus.vocabulary, questions))
+    if args.save is not None:
+        args.save.write_bytes(model.to_bytes())
+        print(f"model written to {args.save}")
+    return 0
+
+
+def _cmd_neighbors(args) -> int:
+    from repro.eval.similarity import most_similar
+    from repro.experiments import datasets
+    from repro.w2v.model import Word2VecModel
+
+    corpus, _ = datasets.load(args.dataset)
+    model = Word2VecModel.from_bytes(args.model.read_bytes())
+    if model.vocab_size != len(corpus.vocabulary):
+        print(
+            f"error: model vocab ({model.vocab_size}) does not match dataset "
+            f"({len(corpus.vocabulary)})",
+            file=sys.stderr,
+        )
+        return 2
+    for word, score in most_similar(model, corpus.vocabulary, args.word, topn=args.topn):
+        print(f"{score:+.3f}  {word}")
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    from repro.eval.analogy import evaluate_analogies
+    from repro.eval.wordsim import build_planted_similarity, evaluate_similarity
+    from repro.experiments import datasets
+    from repro.w2v.model import Word2VecModel
+
+    corpus, questions = datasets.load(args.dataset)
+    model = Word2VecModel.from_bytes(args.model.read_bytes())
+    accuracy = evaluate_analogies(
+        model, corpus.vocabulary, questions, method=args.method
+    )
+    print(accuracy)
+    for family, acc in sorted(accuracy.per_family.items()):
+        print(f"  {family:24s} {acc:.1%}")
+    if args.similarity:
+        families = datasets.PRESETS[args.dataset].spec.resolve_families()
+        pairs = build_planted_similarity(families)
+        rho = evaluate_similarity(model, corpus.vocabulary, pairs)
+        print(f"word similarity (Spearman rho over planted pairs): {rho:+.3f}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import fig6, fig7, fig8, fig9, table1, table23
+
+    name = args.name
+    if name == "table1":
+        print(table1.format_result(table1.run()))
+    elif name in ("table2", "table3"):
+        rows = table23.run()
+        print(table23.format_table2(rows) if name == "table2" else table23.format_table3(rows))
+    elif name == "fig6":
+        print(fig6.format_result(fig6.run()))
+    elif name == "fig7":
+        print(fig7.format_result(fig7.run()))
+    elif name == "fig8":
+        print(fig8.format_result(fig8.run()))
+    elif name == "fig9":
+        print(fig9.format_result(fig9.run()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "train": _cmd_train,
+        "neighbors": _cmd_neighbors,
+        "eval": _cmd_eval,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

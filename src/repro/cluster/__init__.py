@@ -1,0 +1,24 @@
+"""Simulated-cluster timing: network cost model and per-run reports.
+
+The simulated hosts execute one after another on a single core; their
+*algorithmic* behaviour (what each host computes and communicates) is exactly
+the paper's BSP semantics, and the wall-clock a real cluster would see is
+reconstructed from (a) measured per-host compute seconds, taking the maximum
+across hosts per round, and (b) an α–β model over the exact per-phase byte
+counts recorded by :class:`repro.gluon.comm.SimulatedNetwork`.  See DESIGN.md
+§3 for why this substitution preserves the paper's claims.
+"""
+
+from repro.cluster.metrics import ClusterMetrics, TimeBreakdown
+from repro.cluster.network import NetworkModel
+from repro.cluster.simulator import DistributedRunReport
+from repro.cluster.trace import build_chrome_trace, trace_json
+
+__all__ = [
+    "NetworkModel",
+    "ClusterMetrics",
+    "TimeBreakdown",
+    "DistributedRunReport",
+    "build_chrome_trace",
+    "trace_json",
+]

@@ -1,0 +1,97 @@
+"""Per-run metric collection for the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TimeBreakdown", "ClusterMetrics"]
+
+
+@dataclass
+class TimeBreakdown:
+    """Modeled wall-clock split the way Figure 9 reports it."""
+
+    compute_s: float = 0.0
+    communication_s: float = 0.0
+    inspection_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.communication_s + self.inspection_s
+
+    def __add__(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        return TimeBreakdown(
+            compute_s=self.compute_s + other.compute_s,
+            communication_s=self.communication_s + other.communication_s,
+            inspection_s=self.inspection_s + other.inspection_s,
+        )
+
+
+class ClusterMetrics:
+    """Collects per-round per-host compute measurements.
+
+    Hosts run sequentially in the simulation; a real cluster runs them
+    concurrently, so each BSP round's compute contributes its *maximum*
+    per-host time to the modeled wall clock.
+    """
+
+    def __init__(self, num_hosts: int):
+        if num_hosts <= 0:
+            raise ValueError(f"num_hosts must be positive, got {num_hosts}")
+        self.num_hosts = num_hosts
+        self._rounds: list[np.ndarray] = []
+        self._inspection_rounds: list[np.ndarray] = []
+        self._current: np.ndarray | None = None
+        self._current_inspection: np.ndarray | None = None
+
+    # -- round lifecycle ----------------------------------------------------
+    def begin_round(self) -> None:
+        if self._current is not None:
+            raise RuntimeError("previous round not ended")
+        self._current = np.zeros(self.num_hosts)
+        self._current_inspection = np.zeros(self.num_hosts)
+
+    def record_compute(self, host: int, seconds: float) -> None:
+        if self._current is None:
+            raise RuntimeError("no active round")
+        if seconds < 0:
+            raise ValueError(f"negative time {seconds}")
+        self._current[host] += seconds
+
+    def record_inspection(self, host: int, seconds: float) -> None:
+        if self._current_inspection is None:
+            raise RuntimeError("no active round")
+        if seconds < 0:
+            raise ValueError(f"negative time {seconds}")
+        self._current_inspection[host] += seconds
+
+    def end_round(self) -> None:
+        if self._current is None:
+            raise RuntimeError("no active round")
+        self._rounds.append(self._current)
+        self._inspection_rounds.append(self._current_inspection)
+        self._current = None
+        self._current_inspection = None
+
+    # -- aggregation -----------------------------------------------------------
+    @property
+    def num_rounds(self) -> int:
+        return len(self._rounds)
+
+    def modeled_compute_s(self) -> float:
+        """Sum over rounds of the slowest host's compute time."""
+        return float(sum(r.max() for r in self._rounds))
+
+    def modeled_inspection_s(self) -> float:
+        return float(sum(r.max() for r in self._inspection_rounds))
+
+    def sequential_compute_s(self) -> float:
+        """Total measured compute across all hosts (1-host equivalent work)."""
+        return float(sum(r.sum() for r in self._rounds))
+
+    def per_host_compute_s(self) -> np.ndarray:
+        if not self._rounds:
+            return np.zeros(self.num_hosts)
+        return np.sum(self._rounds, axis=0)

@@ -1,0 +1,75 @@
+"""Run reports combining measured compute with modeled communication."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.metrics import ClusterMetrics, TimeBreakdown
+from repro.cluster.network import NetworkModel
+from repro.gluon.comm import SimulatedNetwork
+
+__all__ = ["DistributedRunReport"]
+
+
+@dataclass
+class DistributedRunReport:
+    """Everything the benchmark harness prints about one distributed run."""
+
+    num_hosts: int
+    sync_rounds_per_epoch: int
+    epochs: int
+    plan: str
+    combiner: str
+    breakdown: TimeBreakdown
+    comm_bytes: int
+    comm_messages: int
+    bytes_by_phase: dict[str, int] = field(default_factory=dict)
+    sequential_compute_s: float = 0.0
+    pairs_processed: int = 0
+    peak_replica_rows: int = 0  # PullModel memory footprint (rows resident)
+
+    @property
+    def total_time_s(self) -> float:
+        return self.breakdown.total_s
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        num_hosts: int,
+        sync_rounds_per_epoch: int,
+        epochs: int,
+        plan: str,
+        combiner: str,
+        metrics: ClusterMetrics,
+        network: SimulatedNetwork,
+        model: NetworkModel,
+        pairs_processed: int = 0,
+        peak_replica_rows: int = 0,
+    ) -> "DistributedRunReport":
+        comm_s = model.total_time(network.phase_records)
+        breakdown = TimeBreakdown(
+            compute_s=metrics.modeled_compute_s(),
+            communication_s=comm_s,
+            inspection_s=metrics.modeled_inspection_s(),
+        )
+        # Group phase bytes by kind (reduce/broadcast/request), dropping the
+        # per-field suffix for readability.
+        by_phase: dict[str, int] = {}
+        for name, nbytes in network.stats.bytes_by_phase.items():
+            kind = name.split(":", 1)[0]
+            by_phase[kind] = by_phase.get(kind, 0) + nbytes
+        return cls(
+            num_hosts=num_hosts,
+            sync_rounds_per_epoch=sync_rounds_per_epoch,
+            epochs=epochs,
+            plan=plan,
+            combiner=combiner,
+            breakdown=breakdown,
+            comm_bytes=network.total_bytes,
+            comm_messages=network.total_messages,
+            bytes_by_phase=by_phase,
+            sequential_compute_s=metrics.sequential_compute_s(),
+            pairs_processed=pairs_processed,
+            peak_replica_rows=peak_replica_rows,
+        )

@@ -1,0 +1,134 @@
+"""Chrome-trace export of a simulated run's timeline.
+
+Serializes the modeled execution — per-round per-host compute intervals and
+the priced communication phases — in the Chrome tracing JSON format, so a
+distributed run can be inspected visually in ``chrome://tracing`` /
+Perfetto.  Rows ("threads") are hosts; communication appears on a dedicated
+row since BSP communication is a global phase.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.network import NetworkModel
+from repro.gluon.comm import PhaseRecord
+
+__all__ = ["build_chrome_trace", "trace_json"]
+
+_US = 1e6  # trace timestamps are microseconds
+
+
+def build_chrome_trace(
+    metrics: ClusterMetrics,
+    phase_records: list[PhaseRecord],
+    network_model: NetworkModel,
+) -> list[dict]:
+    """Trace events for one run (complete 'X' events).
+
+    Timeline reconstruction: rounds execute back to back; within a round
+    every host's compute starts together (BSP), runs for its measured
+    duration, and the round's communication phases follow the slowest
+    host.  Phase records are attributed to rounds in order, as the
+    synchronizer emits them.
+    """
+    events: list[dict] = []
+    per_round = metrics._rounds  # measured seconds, shape (hosts,) per round
+    inspections = metrics._inspection_rounds
+    records = list(phase_records)
+    # Phases per round: total records divided evenly (each round emits the
+    # same phase sequence).
+    per_round_phases = len(records) // max(len(per_round), 1) if per_round else 0
+
+    clock = 0.0
+    record_cursor = 0
+    for round_index, compute in enumerate(per_round):
+        start = clock
+        for host in range(metrics.num_hosts):
+            duration = float(compute[host])
+            if duration > 0:
+                events.append(
+                    {
+                        "name": f"compute r{round_index}",
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": host,
+                        "ts": start * _US,
+                        "dur": duration * _US,
+                        "cat": "compute",
+                    }
+                )
+            inspect = float(inspections[round_index][host]) if inspections else 0.0
+            if inspect > 0:
+                events.append(
+                    {
+                        "name": f"inspect r{round_index}",
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": host,
+                        "ts": (start + duration) * _US,
+                        "dur": inspect * _US,
+                        "cat": "inspection",
+                    }
+                )
+        barrier = start + float(compute.max()) + (
+            float(inspections[round_index].max()) if inspections else 0.0
+        )
+        clock = barrier
+        for _ in range(per_round_phases):
+            if record_cursor >= len(records):
+                break
+            record = records[record_cursor]
+            record_cursor += 1
+            duration = network_model.phase_time(record)
+            if duration > 0:
+                events.append(
+                    {
+                        "name": record.name,
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": metrics.num_hosts,  # the "network" row
+                        "ts": clock * _US,
+                        "dur": duration * _US,
+                        "cat": "communication",
+                        "args": {
+                            "bytes": int(record.total_bytes),
+                            "messages": int(record.messages),
+                        },
+                    }
+                )
+            clock += duration
+
+    # Row labels.
+    for host in range(metrics.num_hosts):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": host,
+                "args": {"name": f"host {host}"},
+            }
+        )
+    events.append(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": metrics.num_hosts,
+            "args": {"name": "network"},
+        }
+    )
+    return events
+
+
+def trace_json(
+    metrics: ClusterMetrics,
+    phase_records: list[PhaseRecord],
+    network_model: NetworkModel,
+) -> str:
+    """The trace as a JSON string ready for chrome://tracing."""
+    return json.dumps(
+        {"traceEvents": build_chrome_trace(metrics, phase_records, network_model)}
+    )

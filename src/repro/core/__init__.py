@@ -1,0 +1,44 @@
+"""The paper's primary contribution: gradient/model combiners (§3).
+
+When several hosts train replicas of the same model between synchronization
+points, their accumulated updates ("gradients" at sync granularity) must be
+reduced to one update.  Summing diverges when the gradients are aligned;
+averaging degenerates toward batch gradient descent as hosts grow.  The
+*model combiner* projects each additional gradient onto the orthogonal
+complement of what has already been combined, which provably (first order)
+decreases every contributing loss without exceeding any single gradient's
+step size — so the sequential learning rate remains safe at any host count.
+"""
+
+from repro.core.combiners import (
+    AvgCombiner,
+    GradientCombiner,
+    KeepFirstCombiner,
+    ModelCombiner,
+    SumCombiner,
+    get_combiner,
+)
+from repro.core.projection import (
+    combine_pair,
+    combine_sequence,
+    cosine,
+    orthogonal_component,
+    project_onto,
+)
+from repro.core.validity import direction_validity, ValidityReport
+
+__all__ = [
+    "GradientCombiner",
+    "SumCombiner",
+    "AvgCombiner",
+    "ModelCombiner",
+    "KeepFirstCombiner",
+    "get_combiner",
+    "project_onto",
+    "orthogonal_component",
+    "cosine",
+    "combine_pair",
+    "combine_sequence",
+    "direction_validity",
+    "ValidityReport",
+]

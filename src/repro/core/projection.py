@@ -1,0 +1,82 @@
+"""Reference (scalar-path) projection math from paper §3.
+
+These operate on single 1-D gradient vectors and exist as the readable,
+obviously-correct specification; the vectorized many-node implementation in
+:mod:`repro.core.combiners` is property-tested against them.
+
+Given gradients g1, g2 with angle θ:
+
+- projection of g2 onto g1:      (g1·g2 / ‖g1‖²) · g1
+- orthogonal component g2':       g2 − proj_g1(g2), with
+  ‖g2'‖² = ‖g2‖²·(1 − cos²θ)  (Eq. 4), hence ‖g2'‖ ≤ ‖g2‖,
+- combined step:                  g = g1 + g2'.
+
+Extension to k gradients is by induction: fold each next gradient into the
+running combination via the same projection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "project_onto",
+    "orthogonal_component",
+    "cosine",
+    "combine_pair",
+    "combine_sequence",
+]
+
+# Below this squared norm a gradient is treated as zero: projecting onto a
+# (numerically) zero vector is ill-defined and the correct combination with a
+# zero gradient is the other gradient unchanged.
+_EPS_SQ = 1e-30
+
+
+def project_onto(v: np.ndarray, onto: np.ndarray) -> np.ndarray:
+    """Orthogonal projection of ``v`` onto the line spanned by ``onto``."""
+    v = np.asarray(v, dtype=np.float64)
+    onto = np.asarray(onto, dtype=np.float64)
+    denom = float(onto @ onto)
+    if denom <= _EPS_SQ:
+        return np.zeros_like(v)
+    return (float(onto @ v) / denom) * onto
+
+
+def orthogonal_component(v: np.ndarray, against: np.ndarray) -> np.ndarray:
+    """Component of ``v`` orthogonal to ``against`` (the paper's g2')."""
+    return np.asarray(v, dtype=np.float64) - project_onto(v, against)
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """cos θ between two vectors; 0.0 if either is (numerically) zero."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    na, nb = float(a @ a), float(b @ b)
+    if na <= _EPS_SQ or nb <= _EPS_SQ:
+        return 0.0
+    return float(a @ b) / np.sqrt(na * nb)
+
+
+def combine_pair(g1: np.ndarray, g2: np.ndarray) -> np.ndarray:
+    """Model-combine two gradients: g1 + (g2 projected off g1)."""
+    g1 = np.asarray(g1, dtype=np.float64)
+    return g1 + orthogonal_component(g2, g1)
+
+
+def combine_sequence(gradients: Sequence[np.ndarray] | Iterable[np.ndarray]) -> np.ndarray:
+    """Inductive model combination of an ordered gradient sequence.
+
+    Empty input is invalid (there is no dimension to produce); a single
+    gradient combines to itself.
+    """
+    it = iter(gradients)
+    try:
+        combined = np.asarray(next(it), dtype=np.float64).copy()
+    except StopIteration:
+        raise ValueError("combine_sequence requires at least one gradient") from None
+    for g in it:
+        combined += orthogonal_component(g, combined)
+    return combined

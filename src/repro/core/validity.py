@@ -1,0 +1,58 @@
+"""Validity of update directions (paper §3).
+
+The paper calls an update direction ``h`` *valid* w.r.t. a loss ``L`` at
+model ``w`` if (1) ``L(w − αh) ≤ L(w)`` and (2) ``‖h‖ ≤ ‖∂L/∂w‖``.  Working
+at first order with the gradient ``g = ∂L/∂w`` (the same Taylor argument the
+paper uses), (1) becomes ``h·g ≥ 0``.
+
+:func:`direction_validity` evaluates both conditions for a candidate
+direction against each contributing gradient; the test-suite asserts them for
+the model combiner's projected components and the library exposes them so
+users can instrument their own reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+__all__ = ["ValidityReport", "direction_validity"]
+
+# Relative slack for floating-point comparisons of the analytic identities.
+_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ValidityReport:
+    """First-order validity of one direction against one gradient."""
+
+    first_order_decrease: float  # h · g  (≥ 0 required)
+    direction_norm: float  # ‖h‖
+    gradient_norm: float  # ‖g‖
+
+    @property
+    def decreases_loss(self) -> bool:
+        return self.first_order_decrease >= -_RTOL * max(
+            1.0, self.direction_norm * self.gradient_norm
+        )
+
+    @property
+    def step_bounded(self) -> bool:
+        return self.direction_norm <= self.gradient_norm * (1.0 + _RTOL) + 1e-12
+
+    @property
+    def valid(self) -> bool:
+        return self.decreases_loss and self.step_bounded
+
+
+def direction_validity(direction: np.ndarray, gradient: np.ndarray) -> ValidityReport:
+    """Evaluate paper-§3 validity of ``direction`` w.r.t. loss gradient ``gradient``."""
+    h = np.asarray(direction, dtype=np.float64)
+    g = np.asarray(gradient, dtype=np.float64)
+    if h.shape != g.shape:
+        raise ValueError(f"shape mismatch: {h.shape} vs {g.shape}")
+    return ValidityReport(
+        first_order_decrease=float(h @ g),
+        direction_norm=float(np.linalg.norm(h)),
+        gradient_norm=float(np.linalg.norm(g)),
+    )

@@ -1,0 +1,15 @@
+"""D-Galois-style distributed graphs and BSP execution.
+
+GraphWord2Vec is implemented on a distributed graph-analytics framework; to
+make the substrate credible independently of Word2Vec, this package provides
+CSR graphs, distributed graphs over the :mod:`repro.gluon` partitioner, a
+bulk-synchronous execution driver, and the classic applications the paper's
+background section describes (sssp via Bellman-Ford and delta-stepping,
+PageRank, connected components), all synchronized through Gluon.
+"""
+
+from repro.dgraph.graph import Graph
+from repro.dgraph.dist_graph import DistGraph
+from repro.dgraph.bsp import BSPEngine, RoundStats
+
+__all__ = ["Graph", "DistGraph", "BSPEngine", "RoundStats"]

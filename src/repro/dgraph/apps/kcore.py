@@ -1,0 +1,73 @@
+"""k-core decomposition, distributed.
+
+A node belongs to the k-core if it survives iterated removal of all nodes
+with degree < k.  BSP formulation: each round every live node recomputes
+its degree over live neighbors; nodes dropping below ``k`` die and
+broadcast their death (a flag label with a min-reduction: alive=1, dead=0).
+Quiesces when no node dies in a round.
+
+Operates on the *undirected* interpretation: build the graph with both
+edge directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dgraph.dist_graph import DistGraph
+from repro.gluon.comm import SimulatedNetwork
+from repro.gluon.sync import GluonSynchronizer
+
+__all__ = ["kcore"]
+
+
+def kcore(
+    dist_graph: DistGraph,
+    k: int,
+    network: SimulatedNetwork | None = None,
+    max_rounds: int = 10_000,
+) -> np.ndarray:
+    """Boolean mask over global nodes: member of the k-core."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    net = network or SimulatedNetwork(dist_graph.num_hosts)
+    synchronizer = GluonSynchronizer(dist_graph.partitions, net)
+    alive = dist_graph.new_label(1.0, dtype=np.float64)
+    updated = dist_graph.new_updated_bitvectors()
+
+    # Global degree: edges are partitioned disjointly; count by global src.
+    N = dist_graph.num_global_nodes
+    degree = np.zeros(N, dtype=np.int64)
+    for part in dist_graph.partitions:
+        srcs_global = part.local_to_global[part.edges_local[0]]
+        np.add.at(degree, srcs_global, 1)
+
+    for _round in range(max_rounds):
+        alive_global = dist_graph.gather_masters(alive) > 0.5
+        # Live degree: count live neighbors of each live node.
+        live_degree = np.zeros(N, dtype=np.int64)
+        for part in dist_graph.partitions:
+            src_l, dst_l = part.edges_local
+            src_g = part.local_to_global[src_l]
+            dst_g = part.local_to_global[dst_l]
+            mask = alive_global[src_g] & alive_global[dst_g]
+            np.add.at(live_degree, src_g[mask], 1)
+        deaths = alive_global & (live_degree < k)
+        if not deaths.any():
+            break
+        death_ids = np.nonzero(deaths)[0]
+        for part, a in zip(dist_graph.partitions, alive):
+            present = [g for g in death_ids if part.has_proxy(int(g))]
+            if not present:
+                continue
+            rows = part.to_local_array(np.array(present))
+            a[rows] = 0.0
+            owners = part.master_host_of(np.array(present))
+            own_rows = rows[owners == part.host]
+            if own_rows.size:
+                updated[part.host].set_many(own_rows)
+        synchronizer.sync_value("alive", alive, updated, np.minimum)
+    else:
+        raise RuntimeError(f"k-core did not quiesce in {max_rounds} rounds")
+
+    return dist_graph.gather_masters(alive) > 0.5

@@ -1,0 +1,149 @@
+"""Minimum spanning forest by distributed Borůvka rounds.
+
+Borůvka's algorithm is the classic BSP-friendly MST method: every round,
+each component selects its minimum-weight outgoing edge; all selected edges
+join the forest and their endpoint components merge; O(log V) rounds.
+
+Distribution here follows the replicated-label pattern GraphWord2Vec uses
+for its model: every host keeps the full component-label array (identical
+on all hosts), scans *its own* edge partition for per-component candidate
+edges, and ships the candidates to a coordinator that reduces them to the
+global per-component minima and broadcasts the chosen edges; every host
+then applies the same merges deterministically.  Ties break on
+(weight, src, dst) so the result is unique regardless of host count.
+
+Input should be an undirected graph given with both edge directions (as for
+connected components); each undirected edge is counted once in the forest
+weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dgraph.dist_graph import DistGraph
+from repro.gluon.comm import ID_BYTES, VALUE_BYTES, SimulatedNetwork
+
+__all__ = ["minimum_spanning_forest", "SpanningForest"]
+
+# Candidate wire record: component id + weight + two endpoint ids.
+_CANDIDATE_BYTES = ID_BYTES + VALUE_BYTES + 2 * ID_BYTES
+
+
+class SpanningForest:
+    """Result of :func:`minimum_spanning_forest`."""
+
+    def __init__(self, edges: list[tuple[int, int, float]], components: np.ndarray):
+        #: Chosen undirected edges as (u, v, weight), u < v, sorted.
+        self.edges = sorted((min(u, v), max(u, v), w) for u, v, w in edges)
+        #: Final component label per node (root = smallest node id).
+        self.components = components
+
+    @property
+    def total_weight(self) -> float:
+        return float(sum(w for _u, _v, w in self.edges))
+
+    @property
+    def num_trees(self) -> int:
+        return int(len(np.unique(self.components)))
+
+
+def minimum_spanning_forest(
+    dist_graph: DistGraph,
+    network: SimulatedNetwork | None = None,
+    max_rounds: int = 100,
+) -> SpanningForest:
+    """Borůvka MSF over the (undirected, symmetric) distributed graph.
+
+    Edge weights come from ``edge_data`` (1.0 if absent).  Returns the
+    forest (spanning tree per connected component).
+    """
+    H = dist_graph.num_hosts
+    net = network or SimulatedNetwork(H)
+    N = dist_graph.num_global_nodes
+    comp = np.arange(N, dtype=np.int64)  # replicated on all hosts
+
+    # Per-host global-id edge views (computed once).
+    host_edges = []
+    for part in dist_graph.partitions:
+        src_l, dst_l = part.edges_local
+        src_g = part.local_to_global[src_l]
+        dst_g = part.local_to_global[dst_l]
+        if part.edge_data is not None:
+            weights = np.asarray(part.edge_data, dtype=np.float64)
+        else:
+            weights = np.ones(len(src_g))
+        host_edges.append((src_g, dst_g, weights))
+
+    chosen_edges: list[tuple[int, int, float]] = []
+    for _round in range(max_rounds):
+        # 1. Local candidate selection: per component, the minimum outgoing
+        #    edge among this host's edges (ties: weight, then endpoints).
+        all_candidates: dict[int, tuple[float, int, int]] = {}
+
+        def better(a: tuple[float, int, int], b: tuple[float, int, int]) -> bool:
+            return a < b  # lexicographic (weight, u, v)
+
+        messages = []
+        for host, (src_g, dst_g, weights) in enumerate(host_edges):
+            cu = comp[src_g]
+            cv = comp[dst_g]
+            outgoing = cu != cv
+            local: dict[int, tuple[float, int, int]] = {}
+            for u, v, w, c in zip(
+                src_g[outgoing], dst_g[outgoing], weights[outgoing], cu[outgoing]
+            ):
+                key = (float(w), int(min(u, v)), int(max(u, v)))
+                if int(c) not in local or better(key, local[int(c)]):
+                    local[int(c)] = key
+            messages.append(local)
+
+        # 2. Reduce at the coordinator (host 0): global minimum per
+        #    component.  Hosts other than 0 ship their candidate tables.
+        with net.phase("mst-candidates"):
+            for host in range(1, H):
+                if messages[host]:
+                    net.send(
+                        host, 0, len(messages[host]) * _CANDIDATE_BYTES,
+                        payload=messages[host],
+                    )
+        merged: dict[int, tuple[float, int, int]] = dict(messages[0])
+        for _src, payload in net.drain(0):
+            for c, key in payload.items():
+                if c not in merged or better(key, merged[c]):
+                    merged[c] = key
+        if not merged:
+            break
+
+        # Deduplicate: one undirected edge may be the minimum of both its
+        # endpoint components.
+        chosen = {key for key in merged.values()}
+        # 3. Broadcast the chosen edge set to every host.
+        with net.phase("mst-broadcast"):
+            for host in range(1, H):
+                net.send(0, host, len(chosen) * _CANDIDATE_BYTES, payload=chosen)
+        for host in range(1, H):
+            net.drain(host)
+
+        # 4. Every host applies the identical merges: union the endpoint
+        #    components (hook to the smaller root), then flatten labels.
+        parent = np.arange(N, dtype=np.int64)
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = int(parent[x])
+            return x
+
+        for w, u, v in sorted(chosen):
+            ru, rv = find(int(comp[u])), find(int(comp[v]))
+            if ru != rv:
+                lo, hi = min(ru, rv), max(ru, rv)
+                parent[hi] = lo
+                chosen_edges.append((u, v, w))
+        roots = np.array([find(int(c)) for c in comp], dtype=np.int64)
+        comp = roots
+    else:
+        raise RuntimeError(f"Borůvka did not converge in {max_rounds} rounds")
+
+    return SpanningForest(chosen_edges, comp)

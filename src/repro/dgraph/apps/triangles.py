@@ -1,0 +1,61 @@
+"""Triangle counting, distributed.
+
+Node-iterator algorithm over the undirected graph oriented by node id:
+a triangle u < v < w is counted once at its lowest-id vertex by
+intersecting forward adjacency lists.  Hosts count triangles whose lowest
+vertex falls in their master block using a shared forward-adjacency view
+built from the disjoint edge partitions (each host contributes its local
+edges once), so the count is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dgraph.dist_graph import DistGraph
+from repro.dgraph.graph import Graph
+
+__all__ = ["count_triangles"]
+
+
+def count_triangles(dist_graph: DistGraph) -> int:
+    """Exact global triangle count of the undirected input graph.
+
+    The input :class:`DistGraph` should contain both directions of every
+    undirected edge (as for connected components); duplicates and self
+    loops are ignored.
+    """
+    N = dist_graph.num_global_nodes
+    # Assemble the oriented edge set (u < v) from the disjoint partitions.
+    forward_src: list[np.ndarray] = []
+    forward_dst: list[np.ndarray] = []
+    for part in dist_graph.partitions:
+        src_l, dst_l = part.edges_local
+        src_g = part.local_to_global[src_l]
+        dst_g = part.local_to_global[dst_l]
+        mask = src_g < dst_g
+        forward_src.append(src_g[mask])
+        forward_dst.append(dst_g[mask])
+    src = np.concatenate(forward_src) if forward_src else np.empty(0, np.int64)
+    dst = np.concatenate(forward_dst) if forward_dst else np.empty(0, np.int64)
+    if src.size == 0:
+        return 0
+    # Deduplicate (undirected inputs carry both directions -> one survives).
+    edge_keys = np.unique(src * N + dst)
+    src = edge_keys // N
+    dst = edge_keys % N
+    forward = Graph.from_edges(src, dst, N)
+
+    # Each host counts triangles rooted in its master block; sorted
+    # adjacency + np.intersect1d does the neighborhood intersections.
+    adjacency = [np.sort(forward.out_neighbors(u)) for u in range(N)]
+    total = 0
+    for part in dist_graph.partitions:
+        lo, hi = part.master_bounds[part.host], part.master_bounds[part.host + 1]
+        for u in range(int(lo), int(hi)):
+            neighbors = adjacency[u]
+            for v in neighbors:
+                total += np.intersect1d(
+                    neighbors, adjacency[int(v)], assume_unique=True
+                ).size
+    return int(total)

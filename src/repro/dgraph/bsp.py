@@ -1,0 +1,77 @@
+"""Bulk-synchronous-parallel execution driver.
+
+Distributed graph analytics in D-Galois runs in rounds: every host applies
+the operator to its partition (computation), then all hosts synchronize
+labels through Gluon (communication), until global quiescence.  The
+:class:`BSPEngine` encodes that loop once so applications only provide the
+per-host compute function and the sync call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.gluon.sync import ValueSyncResult
+
+__all__ = ["BSPEngine", "RoundStats"]
+
+
+@dataclass
+class RoundStats:
+    """One BSP round's outcome."""
+
+    round_index: int
+    local_work: int  # items processed across hosts this round
+    sync_changed: bool
+
+
+class BSPEngine:
+    """Round loop with global quiescence detection.
+
+    ``compute(host, round_index) -> int`` performs host-local work and
+    returns the number of items it processed; ``sync() -> ValueSyncResult``
+    performs the Gluon synchronization.  The loop terminates when a round
+    does no local work anywhere *and* synchronization changes nothing
+    (the distributed termination condition of topology/data-driven
+    algorithms), or when ``max_rounds`` is hit.
+    """
+
+    def __init__(self, num_hosts: int, max_rounds: int = 10_000):
+        if num_hosts <= 0:
+            raise ValueError(f"num_hosts must be positive, got {num_hosts}")
+        if max_rounds <= 0:
+            raise ValueError(f"max_rounds must be positive, got {max_rounds}")
+        self.num_hosts = num_hosts
+        self.max_rounds = max_rounds
+        self.history: list[RoundStats] = []
+
+    def run(
+        self,
+        compute: Callable[[int, int], int],
+        sync: Callable[[], ValueSyncResult],
+        work_pending: Callable[[int], bool] | None = None,
+    ) -> int:
+        """Execute rounds to quiescence; returns the number of rounds run."""
+        self.history.clear()
+        for round_index in range(self.max_rounds):
+            local_work = 0
+            for host in range(self.num_hosts):
+                local_work += int(compute(host, round_index))
+            result = sync()
+            stats = RoundStats(
+                round_index=round_index,
+                local_work=local_work,
+                sync_changed=result.any_changed,
+            )
+            self.history.append(stats)
+            pending = (
+                any(work_pending(h) for h in range(self.num_hosts))
+                if work_pending is not None
+                else False
+            )
+            if local_work == 0 and not result.any_changed and not pending:
+                return round_index + 1
+        raise RuntimeError(
+            f"BSP loop did not quiesce within {self.max_rounds} rounds"
+        )

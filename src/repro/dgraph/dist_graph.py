@@ -1,0 +1,95 @@
+"""Distributed graph: partitions + per-host local CSR graphs + label storage.
+
+A :class:`DistGraph` couples the :mod:`repro.gluon` partitioner output with a
+local :class:`~repro.dgraph.graph.Graph` per host (edges in local ids) and
+helpers to allocate per-host label arrays, which Gluon synchronizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dgraph.graph import Graph
+from repro.gluon.bitvector import BitVector
+from repro.gluon.partitioner import Partition, partition_edges
+
+__all__ = ["DistGraph"]
+
+
+class DistGraph:
+    """A graph partitioned among simulated hosts."""
+
+    def __init__(self, partitions: Sequence[Partition]):
+        if not partitions:
+            raise ValueError("need at least one partition")
+        self.partitions = sorted(partitions, key=lambda p: p.host)
+        self.num_hosts = len(self.partitions)
+        self.num_global_nodes = self.partitions[0].num_global_nodes
+        self.local_graphs = [
+            Graph.from_edges(
+                part.edges_local[0],
+                part.edges_local[1],
+                part.num_local,
+                edge_data=part.edge_data,
+            )
+            for part in self.partitions
+        ]
+
+    @classmethod
+    def build(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_nodes: int,
+        num_hosts: int,
+        policy: str = "oec",
+        edge_data: np.ndarray | None = None,
+    ) -> "DistGraph":
+        """Partition an edge list and materialize the per-host graphs."""
+        parts = partition_edges(
+            src, dst, num_nodes, num_hosts, policy=policy, edge_data=edge_data
+        )
+        return cls(parts)
+
+    # -- label management ------------------------------------------------------
+    def new_label(self, fill, dtype=np.float64, width: int = 1) -> list[np.ndarray]:
+        """Allocate one label array per host, indexed by local node id."""
+        out = []
+        for part in self.partitions:
+            shape = (part.num_local,) if width == 1 else (part.num_local, width)
+            out.append(np.full(shape, fill, dtype=dtype))
+        return out
+
+    def new_updated_bitvectors(self) -> list[BitVector]:
+        return [BitVector(part.num_local) for part in self.partitions]
+
+    # -- global <-> local views ------------------------------------------------
+    def gather_masters(self, label: Sequence[np.ndarray]) -> np.ndarray:
+        """Assemble the canonical (master) value of every global node."""
+        first = np.asarray(label[0])
+        shape = (self.num_global_nodes,) + first.shape[1:]
+        out = np.empty(shape, dtype=first.dtype)
+        filled = np.zeros(self.num_global_nodes, dtype=bool)
+        for part, arr in zip(self.partitions, label):
+            masters = part.masters_local()
+            gids = part.local_to_global[masters]
+            out[gids] = arr[masters]
+            filled[gids] = True
+        if not filled.all():
+            missing = np.nonzero(~filled)[0][:5]
+            raise RuntimeError(f"nodes without masters, e.g. {missing.tolist()}")
+        return out
+
+    def total_replication_factor(self) -> float:
+        """Average proxies per node across hosts (paper's replication factor)."""
+        total = sum(p.num_local for p in self.partitions)
+        return total / float(self.num_global_nodes)
+
+    def __repr__(self) -> str:
+        edges = sum(g.num_edges for g in self.local_graphs)
+        return (
+            f"DistGraph(hosts={self.num_hosts}, nodes={self.num_global_nodes}, "
+            f"edges={edges}, rf={self.total_replication_factor():.2f})"
+        )

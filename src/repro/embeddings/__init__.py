@@ -1,0 +1,40 @@
+"""Graph-node embeddings on the Word2Vec stack.
+
+The paper's introduction motivates embedding targets beyond words — social
+networks (DeepWalk), biological sequences, code.  This package implements
+the graph case end to end on this repository's own substrates: random-walk
+corpora generated from :class:`repro.dgraph.graph.Graph` (uniform DeepWalk
+walks or node2vec's (p, q)-biased second-order walks) are fed to any of the
+Word2Vec trainers, including distributed GraphWord2Vec.
+"""
+
+from repro.embeddings.deepwalk import (
+    DeepWalkConfig,
+    NodeEmbedding,
+    deepwalk_corpus,
+    random_walks,
+    train_node_embedding,
+)
+from repro.embeddings.sbm import community_separation, stochastic_block_model
+from repro.embeddings.sequences import (
+    SequenceFamilySpec,
+    generate_sequences,
+    kmer_tokenize,
+    sequence_corpus,
+    train_kmer_embedding,
+)
+
+__all__ = [
+    "DeepWalkConfig",
+    "NodeEmbedding",
+    "deepwalk_corpus",
+    "random_walks",
+    "train_node_embedding",
+    "stochastic_block_model",
+    "community_separation",
+    "SequenceFamilySpec",
+    "generate_sequences",
+    "kmer_tokenize",
+    "sequence_corpus",
+    "train_kmer_embedding",
+]

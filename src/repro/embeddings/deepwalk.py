@@ -1,0 +1,180 @@
+"""DeepWalk / node2vec-style node embeddings (Perozzi et al., KDD'14).
+
+Random walks over a graph are sentences; nodes are words; Skip-Gram learns
+node embeddings whose geometry reflects graph proximity.  Walks are either
+first-order uniform (DeepWalk) or node2vec's second-order walks biased by a
+return parameter ``p`` (likelihood of revisiting the previous node) and an
+in-out parameter ``q`` (BFS- vs DFS-like exploration).
+
+Everything downstream is this repository's ordinary Word2Vec stack — in
+particular the distributed GraphWord2Vec trainer works unchanged, giving
+distributed node-embedding training on the same Gluon substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dgraph.graph import Graph
+from repro.text.corpus import Corpus
+from repro.util.rng import default_rng
+from repro.w2v.distributed import GraphWord2Vec
+from repro.w2v.model import Word2VecModel
+from repro.w2v.params import Word2VecParams
+from repro.w2v.shared_memory import SharedMemoryWord2Vec
+
+__all__ = [
+    "DeepWalkConfig",
+    "NodeEmbedding",
+    "random_walks",
+    "deepwalk_corpus",
+    "train_node_embedding",
+]
+
+
+@dataclass(frozen=True)
+class DeepWalkConfig:
+    """Walk-generation hyperparameters.
+
+    ``p == q == 1`` gives uniform DeepWalk walks; other values select
+    node2vec's biased walks.
+    """
+
+    num_walks: int = 10  # walks started per node
+    walk_length: int = 40
+    p: float = 1.0  # return parameter (1/p weight to revisit previous node)
+    q: float = 1.0  # in-out parameter (1/q weight to move farther away)
+
+    def __post_init__(self) -> None:
+        if self.num_walks < 1:
+            raise ValueError(f"num_walks must be >= 1, got {self.num_walks}")
+        if self.walk_length < 2:
+            raise ValueError(f"walk_length must be >= 2, got {self.walk_length}")
+        if self.p <= 0 or self.q <= 0:
+            raise ValueError(f"p and q must be positive, got p={self.p} q={self.q}")
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.p == 1.0 and self.q == 1.0
+
+
+def _biased_step(
+    graph: Graph,
+    prev: int,
+    current: int,
+    config: DeepWalkConfig,
+    rng: np.random.Generator,
+) -> int | None:
+    """One node2vec transition from ``current`` having come from ``prev``."""
+    neighbors = graph.out_neighbors(current)
+    if neighbors.size == 0:
+        return None
+    weights = np.ones(len(neighbors))
+    back = neighbors == prev
+    weights[back] = 1.0 / config.p
+    # Distance-1 nodes (shared neighbors of prev) keep weight 1; others 1/q.
+    prev_neighbors = graph.out_neighbors(prev)
+    far = ~np.isin(neighbors, prev_neighbors) & ~back
+    weights[far] = 1.0 / config.q
+    weights /= weights.sum()
+    return int(rng.choice(neighbors, p=weights))
+
+
+def random_walks(
+    graph: Graph,
+    config: DeepWalkConfig = DeepWalkConfig(),
+    seed: int | None = None,
+) -> list[np.ndarray]:
+    """Generate ``num_walks`` truncated walks from every node.
+
+    Walk starts are shuffled per pass (as in the DeepWalk paper); walks stop
+    early at sink nodes.  Isolated nodes yield single-node walks so every
+    node appears in the corpus.
+    """
+    rng = default_rng(seed)
+    walks: list[np.ndarray] = []
+    nodes = np.arange(graph.num_nodes)
+    for _pass in range(config.num_walks):
+        order = rng.permutation(nodes)
+        for start in order:
+            walk = [int(start)]
+            while len(walk) < config.walk_length:
+                current = walk[-1]
+                neighbors = graph.out_neighbors(current)
+                if neighbors.size == 0:
+                    break
+                if len(walk) == 1 or config.is_uniform:
+                    nxt = int(neighbors[rng.integers(len(neighbors))])
+                else:
+                    step = _biased_step(graph, walk[-2], current, config, rng)
+                    if step is None:
+                        break
+                    nxt = step
+                walk.append(nxt)
+            walks.append(np.array(walk, dtype=np.int64))
+    return walks
+
+
+def node_word(node: int) -> str:
+    """The corpus token representing a graph node."""
+    return f"n{node}"
+
+
+def deepwalk_corpus(
+    graph: Graph,
+    config: DeepWalkConfig = DeepWalkConfig(),
+    seed: int | None = None,
+) -> Corpus:
+    """Random-walk corpus over ``graph``; tokens are ``n<node-id>``."""
+    walks = random_walks(graph, config, seed=seed)
+    sentences = [[node_word(int(n)) for n in walk] for walk in walks]
+    return Corpus.from_token_sentences(sentences)
+
+
+@dataclass
+class NodeEmbedding:
+    """Per-node embedding matrix aligned to graph node ids."""
+
+    vectors: np.ndarray  # (num_nodes, dim) float32
+    model: Word2VecModel
+    corpus: Corpus
+
+    @property
+    def dim(self) -> int:
+        return self.vectors.shape[1]
+
+
+def train_node_embedding(
+    graph: Graph,
+    walk_config: DeepWalkConfig = DeepWalkConfig(),
+    params: Word2VecParams | None = None,
+    num_hosts: int = 1,
+    seed: int | None = None,
+    **trainer_kwargs,
+) -> NodeEmbedding:
+    """Walks -> Word2Vec -> per-node vectors.
+
+    ``num_hosts == 1`` uses the shared-memory trainer; larger values train
+    distributed GraphWord2Vec with any of its combiners/plans
+    (``trainer_kwargs`` are forwarded).  Node-id rows of the result align
+    with ``graph``'s node ids; nodes never visited by a walk (impossible —
+    every node starts walks) would raise.
+    """
+    params = params or Word2VecParams(
+        dim=64, window=5, negatives=5, epochs=5, subsample_threshold=1e-2
+    )
+    corpus = deepwalk_corpus(graph, walk_config, seed=seed)
+    if num_hosts == 1 and not trainer_kwargs:
+        model = SharedMemoryWord2Vec(corpus, params, seed=seed).train()
+    else:
+        result = GraphWord2Vec(
+            corpus, params, num_hosts=num_hosts, seed=seed, **trainer_kwargs
+        ).train()
+        model = result.model
+    vocab = corpus.vocabulary
+    vectors = np.empty((graph.num_nodes, params.dim), dtype=np.float32)
+    for node in range(graph.num_nodes):
+        vectors[node] = model.embedding[vocab.id_of(node_word(node))]
+    return NodeEmbedding(vectors=vectors, model=model, corpus=corpus)

@@ -1,0 +1,135 @@
+"""Biological-sequence embeddings (BioVec/ProtVec-style; paper §1 ref [14]).
+
+Kimothi et al. apply Word2Vec to biological sequences by treating
+overlapping k-mers as words and sequences as sentences.  This module
+provides the k-mer tokenizer, a synthetic sequence generator with planted
+*motif families* (the sequence analogue of the planted analogy structure),
+and a trainer wrapper — all on the repository's ordinary Word2Vec stack,
+including the distributed trainer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.text.corpus import Corpus
+from repro.util.rng import default_rng
+from repro.w2v.distributed import GraphWord2Vec
+from repro.w2v.model import Word2VecModel
+from repro.w2v.params import Word2VecParams
+from repro.w2v.shared_memory import SharedMemoryWord2Vec
+
+__all__ = [
+    "kmer_tokenize",
+    "SequenceFamilySpec",
+    "generate_sequences",
+    "sequence_corpus",
+    "train_kmer_embedding",
+]
+
+DNA_ALPHABET = "ACGT"
+
+
+def kmer_tokenize(sequence: str, k: int = 3, stride: int = 1) -> list[str]:
+    """Overlapping k-mers of ``sequence`` (ProtVec uses k=3, stride 1)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    sequence = sequence.upper()
+    return [sequence[i : i + k] for i in range(0, len(sequence) - k + 1, stride)]
+
+
+@dataclass(frozen=True)
+class SequenceFamilySpec:
+    """Synthetic sequence dataset with planted motif families.
+
+    Each family has a characteristic motif; a family's sequences embed its
+    motif (with point mutations) several times in random background, so
+    k-mers from the same motif co-occur — the structure a k-mer embedding
+    should recover.
+    """
+
+    num_families: int = 4
+    sequences_per_family: int = 60
+    sequence_length: int = 120
+    motif_length: int = 12
+    motifs_per_sequence: int = 3
+    mutation_rate: float = 0.02
+    alphabet: str = DNA_ALPHABET
+
+    def __post_init__(self) -> None:
+        if self.num_families < 1:
+            raise ValueError("need at least one family")
+        if self.motif_length >= self.sequence_length:
+            raise ValueError("motif longer than sequence")
+        if not 0 <= self.mutation_rate < 1:
+            raise ValueError(f"mutation_rate must be in [0, 1), got {self.mutation_rate}")
+        if len(set(self.alphabet)) < 2:
+            raise ValueError("alphabet needs >= 2 distinct symbols")
+
+
+def generate_sequences(
+    spec: SequenceFamilySpec = SequenceFamilySpec(),
+    seed: int | None = None,
+) -> tuple[list[str], np.ndarray, list[str]]:
+    """Return (sequences, family labels, the planted motif per family)."""
+    rng = default_rng(seed)
+    letters = np.array(list(spec.alphabet))
+
+    def random_string(n: int) -> str:
+        return "".join(rng.choice(letters, size=n))
+
+    motifs = [random_string(spec.motif_length) for _ in range(spec.num_families)]
+    sequences: list[str] = []
+    labels: list[int] = []
+    for family, motif in enumerate(motifs):
+        for _ in range(spec.sequences_per_family):
+            seq = list(random_string(spec.sequence_length))
+            max_start = spec.sequence_length - spec.motif_length
+            for _ in range(spec.motifs_per_sequence):
+                start = int(rng.integers(0, max_start + 1))
+                for offset, base in enumerate(motif):
+                    if rng.random() < spec.mutation_rate:
+                        base = str(rng.choice(letters))
+                    seq[start + offset] = base
+            sequences.append("".join(seq))
+            labels.append(family)
+    return sequences, np.array(labels, dtype=np.int64), motifs
+
+
+def sequence_corpus(sequences: list[str], k: int = 3, stride: int = 1) -> Corpus:
+    """k-mer corpus over raw sequences; one sentence per sequence."""
+    tokenized = [kmer_tokenize(s, k=k, stride=stride) for s in sequences]
+    tokenized = [t for t in tokenized if t]
+    if not tokenized:
+        raise ValueError("no sequence produced any k-mers")
+    return Corpus.from_token_sentences(tokenized)
+
+
+def train_kmer_embedding(
+    sequences: list[str],
+    k: int = 3,
+    params: Word2VecParams | None = None,
+    num_hosts: int = 1,
+    seed: int | None = None,
+    **trainer_kwargs,
+) -> tuple[Word2VecModel, Corpus]:
+    """Train k-mer vectors, shared-memory or distributed."""
+    params = params or Word2VecParams(
+        dim=32, window=5, negatives=5, epochs=5, subsample_threshold=1e-2
+    )
+    corpus = sequence_corpus(sequences, k=k)
+    if num_hosts == 1 and not trainer_kwargs:
+        model = SharedMemoryWord2Vec(corpus, params, seed=seed).train()
+    else:
+        model = (
+            GraphWord2Vec(
+                corpus, params, num_hosts=num_hosts, seed=seed, **trainer_kwargs
+            )
+            .train()
+            .model
+        )
+    return model, corpus

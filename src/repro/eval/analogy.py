@@ -1,0 +1,127 @@
+"""Analogical-reasoning evaluation (paper §5.1).
+
+The word2vec question-words task: for "a : b :: c : ?", predict the word
+whose embedding is nearest (cosine) to ``v_b − v_a + v_c`` (3CosAdd),
+excluding the three question words.  Questions come tagged by category; the
+paper reports semantic, syntactic, and total accuracy averaged over the
+categories, which we mirror (macro average; the micro average is also
+returned).
+
+Levy & Goldberg's 3CosMul objective is available as ``method="mul"``:
+candidates are scored ``(cos'(d,b) · cos'(d,c)) / (cos'(d,a) + ε)`` with
+cosines shifted to [0, 1]; it often resolves analogies 3CosAdd misses when
+one term dominates the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.text.synthetic import SEMANTIC, SYNTACTIC, AnalogyQuestionSet
+from repro.text.vocab import Vocabulary
+from repro.w2v.model import Word2VecModel
+
+__all__ = ["AnalogyAccuracy", "evaluate_analogies"]
+
+
+@dataclass
+class AnalogyAccuracy:
+    """Accuracy summary in the shape of the paper's Table 3."""
+
+    semantic: float
+    syntactic: float
+    total: float
+    micro: float
+    per_family: dict[str, float] = field(default_factory=dict)
+    num_questions: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"semantic={self.semantic:.2%} syntactic={self.syntactic:.2%} "
+            f"total={self.total:.2%} ({self.num_questions} questions)"
+        )
+
+
+def evaluate_analogies(
+    model: Word2VecModel | np.ndarray,
+    vocabulary: Vocabulary,
+    questions: AnalogyQuestionSet,
+    batch_size: int = 512,
+    method: str = "add",
+) -> AnalogyAccuracy:
+    """Score an embedding on an analogy question set.
+
+    Questions containing out-of-vocabulary words are skipped (as the original
+    evaluation script does).  ``model`` may be a :class:`Word2VecModel` or a
+    raw ``(V, dim)`` embedding matrix.  ``method`` selects the objective:
+    ``"add"`` (3CosAdd, the paper's) or ``"mul"`` (3CosMul).
+    """
+    if method not in ("add", "mul"):
+        raise ValueError(f"method must be 'add' or 'mul', got {method!r}")
+    if isinstance(model, Word2VecModel):
+        embedding = model.normalized_embedding()
+    else:
+        embedding = np.asarray(model, dtype=np.float32)
+        norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+        embedding = embedding / np.where(norms > 0, norms, 1.0)
+
+    ids_a, ids_b, ids_c, ids_d = [], [], [], []
+    kept = []
+    for q in questions:
+        if all(w in vocabulary for w in (q.a, q.b, q.c, q.expected)):
+            ids_a.append(vocabulary.id_of(q.a))
+            ids_b.append(vocabulary.id_of(q.b))
+            ids_c.append(vocabulary.id_of(q.c))
+            ids_d.append(vocabulary.id_of(q.expected))
+            kept.append(q)
+    if not kept:
+        return AnalogyAccuracy(0.0, 0.0, 0.0, 0.0, {}, 0)
+
+    a = np.array(ids_a)
+    b = np.array(ids_b)
+    c = np.array(ids_c)
+    d = np.array(ids_d)
+    correct = np.zeros(len(kept), dtype=bool)
+
+    for start in range(0, len(kept), batch_size):
+        stop = min(start + batch_size, len(kept))
+        if method == "add":
+            target = (
+                embedding[b[start:stop]]
+                - embedding[a[start:stop]]
+                + embedding[c[start:stop]]
+            )
+            norms = np.linalg.norm(target, axis=1, keepdims=True)
+            target = target / np.where(norms > 0, norms, 1.0)
+            scores = target @ embedding.T  # (batch, V)
+        else:  # 3CosMul (Levy & Goldberg 2014), cosines shifted to [0, 1]
+            eps = 1e-3
+            cos_a = (embedding[a[start:stop]] @ embedding.T + 1.0) / 2.0
+            cos_b = (embedding[b[start:stop]] @ embedding.T + 1.0) / 2.0
+            cos_c = (embedding[c[start:stop]] @ embedding.T + 1.0) / 2.0
+            scores = cos_b * cos_c / (cos_a + eps)
+        rows = np.arange(stop - start)
+        scores[rows, a[start:stop]] = -np.inf
+        scores[rows, b[start:stop]] = -np.inf
+        scores[rows, c[start:stop]] = -np.inf
+        predicted = scores.argmax(axis=1)
+        correct[start:stop] = predicted == d[start:stop]
+
+    by_family: dict[str, list[bool]] = {}
+    kind_of_family: dict[str, str] = {}
+    for q, ok in zip(kept, correct):
+        by_family.setdefault(q.family, []).append(bool(ok))
+        kind_of_family[q.family] = q.kind
+    per_family = {fam: float(np.mean(v)) for fam, v in by_family.items()}
+    sem = [acc for fam, acc in per_family.items() if kind_of_family[fam] == SEMANTIC]
+    syn = [acc for fam, acc in per_family.items() if kind_of_family[fam] == SYNTACTIC]
+    return AnalogyAccuracy(
+        semantic=float(np.mean(sem)) if sem else 0.0,
+        syntactic=float(np.mean(syn)) if syn else 0.0,
+        total=float(np.mean(list(per_family.values()))),
+        micro=float(correct.mean()),
+        per_family=per_family,
+        num_questions=len(kept),
+    )

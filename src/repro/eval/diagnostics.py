@@ -1,0 +1,106 @@
+"""Embedding-quality diagnostics.
+
+Quantities that help debug *why* an embedding under-performs before any
+downstream task is run:
+
+- norm statistics — frequent-word norm inflation is the classic SGNS
+  pathology;
+- isotropy — the mean cosine to the average direction; near 0 is healthy,
+  near 1 means the space collapsed onto a cone (common after divergence or
+  over-training, and the proximate cause of the late-epoch accuracy decay
+  discussed in EXPERIMENTS.md);
+- spectral dimension utilization — entropy of the singular-value
+  distribution, exponentiated to an "effective dimension";
+- hubness — concentration of nearest-neighbor in-degree (a few hub words
+  appearing in everyone's neighbor lists degrade retrieval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.w2v.model import Word2VecModel
+
+__all__ = ["EmbeddingDiagnostics", "diagnose_embedding"]
+
+
+@dataclass(frozen=True)
+class EmbeddingDiagnostics:
+    vocab_size: int
+    dim: int
+    mean_norm: float
+    norm_cv: float  # coefficient of variation of row norms
+    isotropy: float  # mean cosine to the mean direction (0 = isotropic)
+    effective_dim: float  # exp(entropy of normalized singular values)
+    hubness: float  # max 10-NN in-degree / expected in-degree
+
+    def __str__(self) -> str:
+        return (
+            f"EmbeddingDiagnostics(V={self.vocab_size}, dim={self.dim}, "
+            f"|v|={self.mean_norm:.3f}±cv{self.norm_cv:.2f}, "
+            f"isotropy={self.isotropy:.3f}, "
+            f"eff_dim={self.effective_dim:.1f}, hubness={self.hubness:.1f})"
+        )
+
+
+def diagnose_embedding(
+    model: Word2VecModel | np.ndarray,
+    neighbor_k: int = 10,
+    max_rows_for_hubness: int = 2000,
+    seed: int = 0,
+) -> EmbeddingDiagnostics:
+    """Compute the diagnostics; O(V² ) parts are subsampled above
+    ``max_rows_for_hubness`` rows."""
+    embedding = (
+        model.embedding if isinstance(model, Word2VecModel) else np.asarray(model)
+    )
+    if embedding.ndim != 2 or embedding.shape[0] < 2:
+        raise ValueError("need a (V >= 2, dim) embedding matrix")
+    X = embedding.astype(np.float64)
+    V, dim = X.shape
+
+    norms = np.linalg.norm(X, axis=1)
+    mean_norm = float(norms.mean())
+    norm_cv = float(norms.std() / mean_norm) if mean_norm > 0 else 0.0
+
+    safe = np.where(norms > 0, norms, 1.0)
+    unit = X / safe[:, None]
+    mean_dir = unit.mean(axis=0)
+    mean_dir_norm = np.linalg.norm(mean_dir)
+    isotropy = float(mean_dir_norm) if mean_dir_norm > 0 else 0.0
+    # isotropy as defined: cosine of each vector to the mean direction,
+    # averaged — equals ||mean(unit)|| exactly.
+
+    # Spectral utilization.
+    singular = np.linalg.svd(X - X.mean(axis=0), compute_uv=False)
+    p = singular / singular.sum() if singular.sum() > 0 else np.ones_like(singular) / len(singular)
+    p = p[p > 0]
+    entropy = float(-(p * np.log(p)).sum())
+    effective_dim = float(np.exp(entropy))
+
+    # Hubness on a subsample.
+    if V > max_rows_for_hubness:
+        rng = np.random.default_rng(seed)
+        rows = rng.choice(V, size=max_rows_for_hubness, replace=False)
+        U = unit[rows]
+    else:
+        U = unit
+    n = U.shape[0]
+    k = min(neighbor_k, n - 1)
+    sims = U @ U.T
+    np.fill_diagonal(sims, -np.inf)
+    neighbors = np.argpartition(-sims, k - 1, axis=1)[:, :k]
+    in_degree = np.bincount(neighbors.ravel(), minlength=n)
+    hubness = float(in_degree.max() / k)  # expected in-degree is exactly k
+
+    return EmbeddingDiagnostics(
+        vocab_size=V,
+        dim=dim,
+        mean_norm=mean_norm,
+        norm_cv=norm_cv,
+        isotropy=isotropy,
+        effective_dim=effective_dim,
+        hubness=hubness,
+    )

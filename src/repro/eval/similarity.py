@@ -1,0 +1,39 @@
+"""Cosine-similarity queries over an embedding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text.vocab import Vocabulary
+from repro.w2v.model import Word2VecModel
+
+__all__ = ["cosine_similarity", "most_similar"]
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """cos between two vectors; 0.0 when either is zero."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na == 0 or nb == 0:
+        return 0.0
+    return float(a @ b / (na * nb))
+
+
+def most_similar(
+    model: Word2VecModel,
+    vocabulary: Vocabulary,
+    word: str,
+    topn: int = 10,
+) -> list[tuple[str, float]]:
+    """The ``topn`` nearest words to ``word`` by embedding cosine."""
+    if topn <= 0:
+        raise ValueError(f"topn must be positive, got {topn}")
+    normalized = model.normalized_embedding()
+    query = normalized[vocabulary.id_of(word)]
+    scores = normalized @ query
+    scores[vocabulary.id_of(word)] = -np.inf
+    count = min(topn, len(scores) - 1)
+    top = np.argpartition(-scores, count - 1)[:count]
+    top = top[np.argsort(-scores[top])]
+    return [(vocabulary.word_of(int(i)), float(scores[i])) for i in top]

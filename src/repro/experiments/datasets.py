@@ -1,0 +1,128 @@
+"""Dataset presets mirroring Table 1.
+
+The paper trains on three corpora (Table 1): 1-billion (399K vocab, 665.5M
+words, 3.7GB), news (479.3K, 714.1M, 3.9GB) and wiki (2759.5K, 3594.1M,
+21GB).  The presets below are their synthetic stand-ins, scaled ~10^4 x down
+with the *relative* proportions preserved: news slightly larger than
+1-billion with a richer vocabulary, wiki several times larger than both in
+tokens and vocabulary.
+
+Corpora are deterministic functions of (preset, seed) and cached per
+process, so every experiment in a benchmark run sees identical data.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.text.corpus import Corpus
+from repro.text.synthetic import (
+    AnalogyQuestionSet,
+    SyntheticCorpusSpec,
+    generate_corpus,
+)
+
+__all__ = ["DatasetPreset", "PRESETS", "load", "table1_rows"]
+
+DEFAULT_SEED = 1
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The corresponding row of the paper's Table 1."""
+
+    vocabulary_words: str
+    training_words: str
+    size: str
+
+
+@dataclass(frozen=True)
+class DatasetPreset:
+    name: str
+    spec: SyntheticCorpusSpec
+    paper: PaperRow
+
+
+PRESETS: dict[str, DatasetPreset] = {
+    "1-billion-sim": DatasetPreset(
+        name="1-billion-sim",
+        spec=SyntheticCorpusSpec(
+            name="1-billion-sim",
+            num_tokens=60_000,
+            pairs_per_family=8,
+            filler_vocab=600,
+            questions_per_family=12,
+        ),
+        paper=PaperRow("399.0K", "665.5M", "3.7GB"),
+    ),
+    "news-sim": DatasetPreset(
+        name="news-sim",
+        spec=SyntheticCorpusSpec(
+            name="news-sim",
+            num_tokens=65_000,
+            pairs_per_family=8,
+            filler_vocab=750,
+            zipf_exponent=1.1,
+            questions_per_family=12,
+        ),
+        paper=PaperRow("479.3K", "714.1M", "3.9GB"),
+    ),
+    "wiki-sim": DatasetPreset(
+        name="wiki-sim",
+        spec=SyntheticCorpusSpec(
+            name="wiki-sim",
+            num_tokens=150_000,
+            pairs_per_family=12,
+            filler_vocab=1_800,
+            questions_per_family=14,
+        ),
+        paper=PaperRow("2759.5K", "3594.1M", "21GB"),
+    ),
+    # Not in the paper: a fast preset for tests and the quickstart example.
+    "tiny-sim": DatasetPreset(
+        name="tiny-sim",
+        spec=SyntheticCorpusSpec(
+            name="tiny-sim",
+            num_tokens=8_000,
+            pairs_per_family=4,
+            filler_vocab=150,
+            questions_per_family=6,
+        ),
+        paper=PaperRow("-", "-", "-"),
+    ),
+}
+
+
+@functools.lru_cache(maxsize=None)
+def load(name: str, seed: int = DEFAULT_SEED) -> tuple[Corpus, AnalogyQuestionSet]:
+    """Generate (cached) the corpus and question set of a preset."""
+    try:
+        preset = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {sorted(PRESETS)}"
+        ) from None
+    return generate_corpus(preset.spec, seed=seed)
+
+
+def table1_rows(names: tuple[str, ...] = ("1-billion-sim", "news-sim", "wiki-sim")):
+    """Measured dataset properties next to the paper's Table 1 values."""
+    rows = []
+    for name in names:
+        preset = PRESETS[name]
+        corpus, questions = load(name)
+        vocab = corpus.vocabulary
+        rows.append(
+            {
+                "dataset": name,
+                "vocabulary_words": len(vocab),
+                "training_words": corpus.num_tokens,
+                "size_bytes": vocab.size_on_disk_bytes(),
+                "questions": len(questions),
+                "paper_vocabulary": preset.paper.vocabulary_words,
+                "paper_training_words": preset.paper.training_words,
+                "paper_size": preset.paper.size,
+            }
+        )
+    return rows

@@ -1,0 +1,104 @@
+"""Figure 7: effect of synchronization frequency (S = 12/24/48 at 32 hosts).
+
+The paper reports semantic/syntactic/total accuracy of AVG and MC on
+1-billion for 12, 24 and 48 synchronization rounds per epoch, with the
+1-host accuracy as a dotted reference line.  Expected shape: accuracy
+improves with frequency, and the improvement is larger for MC than AVG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import datasets, harness
+from repro.util.tables import format_table
+
+__all__ = ["run", "format_result", "main"]
+
+DATASET = "1-billion-sim"
+FREQUENCIES = (12, 24, 48)
+
+
+@dataclass
+class FrequencyPoint:
+    combiner: str
+    sync_rounds: int
+    semantic: float
+    syntactic: float
+    total: float
+
+
+@dataclass
+class Fig7Result:
+    points: list[FrequencyPoint]
+    reference_semantic: float
+    reference_syntactic: float
+    reference_total: float
+
+
+def run(
+    dataset: str = DATASET,
+    epochs: int = 6,
+    hosts: int = harness.PAPER_HOSTS,
+    frequencies: tuple[int, ...] = FREQUENCIES,
+) -> Fig7Result:
+    corpus, _questions = datasets.load(dataset)
+    params = harness.experiment_params(epochs=epochs)
+
+    sm = harness.run_shared_memory(corpus, params)
+    sm_acc = harness.accuracy_of(sm, dataset)
+
+    points = []
+    for combiner in ("avg", "mc"):
+        for S in frequencies:
+            run_ = harness.run_distributed(
+                corpus, params, num_hosts=hosts, sync_rounds=S, combiner=combiner
+            )
+            acc = harness.accuracy_of(run_, dataset)
+            points.append(
+                FrequencyPoint(
+                    combiner=combiner.upper(),
+                    sync_rounds=S,
+                    semantic=acc.semantic,
+                    syntactic=acc.syntactic,
+                    total=acc.total,
+                )
+            )
+    return Fig7Result(
+        points=points,
+        reference_semantic=sm_acc.semantic,
+        reference_syntactic=sm_acc.syntactic,
+        reference_total=sm_acc.total,
+    )
+
+
+def format_result(result: Fig7Result) -> str:
+    rows = [
+        [p.combiner, p.sync_rounds, f"{p.semantic:.1%}", f"{p.syntactic:.1%}", f"{p.total:.1%}"]
+        for p in result.points
+    ]
+    rows.append(
+        [
+            "SM (1 host)",
+            "-",
+            f"{result.reference_semantic:.1%}",
+            f"{result.reference_syntactic:.1%}",
+            f"{result.reference_total:.1%}",
+        ]
+    )
+    return format_table(
+        ["Reduction", "Sync Frequency", "Semantic", "Syntactic", "Total"],
+        rows,
+        title=(
+            "Figure 7: Effect of synchronization frequency on accuracy "
+            "(32 hosts, 1-billion-sim; SM row is the 1-host dotted line)."
+        ),
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

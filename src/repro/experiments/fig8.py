@@ -1,0 +1,115 @@
+"""Figure 8: strong scaling of the three communication plans.
+
+The paper runs 1-64 hosts on all three datasets, raising the sync frequency
+roughly linearly with the host count (labels "H(S)": 1(1), 2(3), 4(6),
+8(12), 16(24), 32(48), 64(96)), and plots total training time for
+RepModel-Naive, RepModel-Opt and PullModel.  Expected shape: all variants
+scale to 32 hosts; RepModel-Opt is fastest (it exploits update sparsity);
+PullModel pays inspection overhead; Naive pays dense communication, with
+its penalty growing with hosts.
+
+Each configuration here trains ``epochs`` epochs (default 1) and scales the
+modeled time to the paper's 16-epoch training, which is exact because every
+epoch performs identical work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import datasets, harness
+from repro.util.tables import format_table
+from repro.w2v.distributed import default_sync_rounds
+
+__all__ = ["run", "format_result", "main", "HOST_COUNTS"]
+
+HOST_COUNTS = (1, 2, 4, 8, 16, 32)
+PLANS = ("naive", "opt", "pull")
+PAPER_EPOCHS = 16
+
+
+@dataclass
+class ScalingPoint:
+    dataset: str
+    plan: str
+    hosts: int
+    sync_rounds: int
+    time_s: float  # modeled, scaled to PAPER_EPOCHS
+    compute_s: float
+    communication_s: float
+    inspection_s: float
+    comm_bytes: int
+
+
+def run(
+    names: tuple[str, ...] = ("1-billion-sim",),
+    host_counts: tuple[int, ...] = HOST_COUNTS,
+    plans: tuple[str, ...] = PLANS,
+    epochs: int = 1,
+) -> list[ScalingPoint]:
+    points = []
+    scale = PAPER_EPOCHS / epochs
+    params = harness.experiment_params(epochs=epochs)
+    for name in names:
+        corpus, _ = datasets.load(name)
+        for hosts in host_counts:
+            S = default_sync_rounds(hosts) if hosts > 1 else 1
+            for plan in plans:
+                run_ = harness.run_distributed(
+                    corpus, params, num_hosts=hosts, sync_rounds=S, plan=plan
+                )
+                report = run_.distributed.report
+                points.append(
+                    ScalingPoint(
+                        dataset=name,
+                        plan=report.plan,
+                        hosts=hosts,
+                        sync_rounds=S,
+                        time_s=report.total_time_s * scale,
+                        compute_s=report.breakdown.compute_s * scale,
+                        communication_s=report.breakdown.communication_s * scale,
+                        inspection_s=report.breakdown.inspection_s * scale,
+                        comm_bytes=int(report.comm_bytes * scale),
+                    )
+                )
+    return points
+
+
+def format_result(points: list[ScalingPoint]) -> str:
+    by_key: dict[tuple[str, str], dict[int, ScalingPoint]] = {}
+    hosts_seen: list[int] = []
+    for p in points:
+        by_key.setdefault((p.dataset, p.plan), {})[p.hosts] = p
+        if p.hosts not in hosts_seen:
+            hosts_seen.append(p.hosts)
+    headers = ["Dataset", "Plan"] + [
+        f"{h}({default_sync_rounds(h) if h > 1 else 1})" for h in hosts_seen
+    ]
+    rows = []
+    for (dataset, plan), series in by_key.items():
+        row = [dataset, plan]
+        base = series.get(hosts_seen[0])
+        for h in hosts_seen:
+            p = series.get(h)
+            if p is None:
+                row.append("-")
+            else:
+                speedup = base.time_s / p.time_s if base else float("nan")
+                row.append(f"{p.time_s:.1f}s ({speedup:.1f}x)")
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "Figure 8: Strong scaling (modeled 16-epoch time; columns are "
+            "Hosts(Sync Frequency), cells show time and speedup vs 1 host)."
+        ),
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

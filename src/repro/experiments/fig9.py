@@ -1,0 +1,107 @@
+"""Figure 9: execution-time breakdown and communication volume.
+
+For 2/8/32 hosts x three communication plans x three datasets, the paper
+splits execution time into computation and communication and prints the
+total communication volume on each bar.  Expected shape: computation scales
+~1/H; communication volume grows with hosts (higher replication and sync
+frequency); RepModel-Opt moves ~2x fewer bytes than RepModel-Naive;
+PullModel sits between them and adds inspection time.
+
+As in Figure 8, each configuration trains 1 epoch and scales to the paper's
+16 epochs (identical per-epoch work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import datasets, harness
+from repro.util.tables import format_bytes, format_table
+from repro.w2v.distributed import default_sync_rounds
+
+__all__ = ["run", "format_result", "main"]
+
+HOST_COUNTS = (2, 8, 32)
+PLANS = ("naive", "opt", "pull")
+PAPER_EPOCHS = 16
+
+
+@dataclass
+class BreakdownPoint:
+    dataset: str
+    plan: str
+    hosts: int
+    sync_rounds: int
+    compute_s: float
+    communication_s: float
+    inspection_s: float
+    comm_bytes: int
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.communication_s + self.inspection_s
+
+
+def run(
+    names: tuple[str, ...] = ("1-billion-sim", "news-sim", "wiki-sim"),
+    host_counts: tuple[int, ...] = HOST_COUNTS,
+    plans: tuple[str, ...] = PLANS,
+    epochs: int = 1,
+) -> list[BreakdownPoint]:
+    points = []
+    scale = PAPER_EPOCHS / epochs
+    params = harness.experiment_params(epochs=epochs)
+    for name in names:
+        corpus, _ = datasets.load(name)
+        for plan in plans:
+            for hosts in host_counts:
+                S = default_sync_rounds(hosts)
+                run_ = harness.run_distributed(
+                    corpus, params, num_hosts=hosts, sync_rounds=S, plan=plan
+                )
+                report = run_.distributed.report
+                points.append(
+                    BreakdownPoint(
+                        dataset=name,
+                        plan=report.plan,
+                        hosts=hosts,
+                        sync_rounds=S,
+                        compute_s=report.breakdown.compute_s * scale,
+                        communication_s=report.breakdown.communication_s * scale,
+                        inspection_s=report.breakdown.inspection_s * scale,
+                        comm_bytes=int(report.comm_bytes * scale),
+                    )
+                )
+    return points
+
+
+def format_result(points: list[BreakdownPoint]) -> str:
+    rows = [
+        [
+            p.dataset,
+            p.plan,
+            f"{p.hosts}({p.sync_rounds})",
+            f"{p.compute_s:.1f}",
+            f"{p.communication_s:.1f}",
+            f"{p.inspection_s:.1f}",
+            f"{p.total_s:.1f}",
+            format_bytes(p.comm_bytes),
+        ]
+        for p in points
+    ]
+    return format_table(
+        ["Dataset", "Plan", "Hosts(S)", "Compute (s)", "Comm (s)", "Inspect (s)", "Total (s)", "Comm Volume"],
+        rows,
+        title=(
+            "Figure 9: Breakdown of modeled 16-epoch execution time into "
+            "computation and communication, with total communication volume."
+        ),
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,164 @@
+"""Shared experiment machinery: canonical parameters and timed runs."""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.sgns_reference import (
+    GensimStyleWord2Vec,
+    MemoryBudgetExceeded,
+    Word2VecCReference,
+)
+from repro.eval.analogy import AnalogyAccuracy, evaluate_analogies
+from repro.experiments import datasets
+from repro.text.corpus import Corpus
+from repro.w2v.distributed import DistributedTrainResult, GraphWord2Vec
+from repro.w2v.model import Word2VecModel
+from repro.w2v.params import Word2VecParams
+from repro.w2v.shared_memory import SharedMemoryWord2Vec
+
+__all__ = [
+    "EXPERIMENT_PARAMS",
+    "PAPER_HOSTS",
+    "GEM_MEMORY_BUDGET_BYTES",
+    "experiment_params",
+    "run_shared_memory",
+    "run_reference",
+    "run_distributed",
+    "accuracy_of",
+    "main_comparison",
+]
+
+#: Canonical hyperparameters for all paper-reproduction experiments.  Paper
+#: values are window=5, negatives=15, threshold=1e-4, dim=200, epochs=16;
+#: dim/negatives/epochs/threshold are reduced with the ~10^4 x corpus
+#: scale-down (see EXPERIMENTS.md "Configuration" for the mapping).
+EXPERIMENT_PARAMS = Word2VecParams(
+    dim=64,
+    window=5,
+    negatives=10,
+    learning_rate=0.025,
+    epochs=8,
+    subsample_threshold=1e-3,
+)
+
+#: The paper's headline cluster size (Tables 2/3, Figures 6/7).
+PAPER_HOSTS = 32
+
+#: GEM's materialized-pairs budget — the scaled-down analogue of the 220GB
+#: hosts that fit 1-billion/news but OOM on wiki (Table 2).
+GEM_MEMORY_BUDGET_BYTES = 40 * 1024 * 1024
+
+DEFAULT_SEED = 7
+
+
+def experiment_params(**overrides) -> Word2VecParams:
+    return EXPERIMENT_PARAMS.with_(**overrides) if overrides else EXPERIMENT_PARAMS
+
+
+@dataclass
+class TimedRun:
+    """A trained model with its wall-clock (and modeled, if distributed) time."""
+
+    system: str
+    model: Word2VecModel | None
+    wall_seconds: float
+    modeled_seconds: float | None = None
+    distributed: DistributedTrainResult | None = None
+    failure: str | None = None
+
+
+def run_shared_memory(
+    corpus: Corpus,
+    params: Word2VecParams,
+    seed: int = DEFAULT_SEED,
+    epoch_hook: Callable[[int, Word2VecModel], None] | None = None,
+) -> TimedRun:
+    trainer = SharedMemoryWord2Vec(corpus, params, seed=seed)
+    start = time.perf_counter()
+    model = trainer.train(epoch_hook)
+    return TimedRun("SM", model, time.perf_counter() - start)
+
+
+def run_reference(
+    kind: str,
+    corpus: Corpus,
+    params: Word2VecParams,
+    seed: int = DEFAULT_SEED,
+) -> TimedRun:
+    """Run a shared-memory comparator: ``w2v`` or ``gem``."""
+    if kind == "w2v":
+        trainer = Word2VecCReference(corpus, params, seed=seed)
+    elif kind == "gem":
+        trainer = GensimStyleWord2Vec(
+            corpus, params, seed=seed, memory_budget_bytes=GEM_MEMORY_BUDGET_BYTES
+        )
+    else:
+        raise ValueError(f"unknown reference {kind!r} (expected w2v or gem)")
+    start = time.perf_counter()
+    try:
+        model = trainer.train()
+    except MemoryBudgetExceeded as exc:
+        return TimedRun(kind.upper(), None, time.perf_counter() - start, failure="OOM")
+    return TimedRun(kind.upper(), model, time.perf_counter() - start)
+
+
+def run_distributed(
+    corpus: Corpus,
+    params: Word2VecParams,
+    num_hosts: int,
+    sync_rounds: int | None = None,
+    combiner: str = "mc",
+    plan: str = "opt",
+    seed: int = DEFAULT_SEED,
+    epoch_hook: Callable[[int, Word2VecModel], None] | None = None,
+) -> TimedRun:
+    trainer = GraphWord2Vec(
+        corpus,
+        params,
+        num_hosts=num_hosts,
+        sync_rounds_per_epoch=sync_rounds,
+        combiner=combiner,
+        plan=plan,
+        seed=seed,
+    )
+    start = time.perf_counter()
+    # Large-learning-rate divergence (AVG at lr*H) legitimately overflows
+    # float32; that outcome is an expected data point, not an error.
+    with np.errstate(over="ignore", invalid="ignore"):
+        result = trainer.train(epoch_hook)
+    return TimedRun(
+        "GW2V",
+        result.model,
+        time.perf_counter() - start,
+        modeled_seconds=result.report.total_time_s,
+        distributed=result,
+    )
+
+
+def accuracy_of(run: TimedRun, dataset: str) -> AnalogyAccuracy | None:
+    if run.model is None:
+        return None
+    corpus, questions = datasets.load(dataset)
+    return evaluate_analogies(run.model, corpus.vocabulary, questions)
+
+
+@functools.lru_cache(maxsize=None)
+def main_comparison(
+    dataset: str,
+    epochs: int = EXPERIMENT_PARAMS.epochs,
+    hosts: int = PAPER_HOSTS,
+    seed: int = DEFAULT_SEED,
+) -> tuple[TimedRun, TimedRun, TimedRun]:
+    """The shared W2V/GEM/GW2V runs behind Tables 2 and 3 (cached)."""
+    corpus, _ = datasets.load(dataset)
+    params = experiment_params(epochs=epochs)
+    w2v = run_reference("w2v", corpus, params, seed=seed)
+    gem = run_reference("gem", corpus, params, seed=seed)
+    gw2v = run_distributed(corpus, params, num_hosts=hosts, seed=seed)
+    return w2v, gem, gw2v

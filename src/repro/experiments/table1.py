@@ -1,0 +1,47 @@
+"""Table 1: datasets and their properties.
+
+Paper row format: Vocabulary Words | Training Words | Size.  We print the
+measured properties of the synthetic stand-ins next to the paper's values
+for the real corpora they substitute.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.datasets import table1_rows
+from repro.util.tables import format_bytes, format_table
+
+__all__ = ["run", "format_result", "main"]
+
+
+def run(names: tuple[str, ...] = ("1-billion-sim", "news-sim", "wiki-sim")):
+    return table1_rows(names)
+
+
+def format_result(rows) -> str:
+    table = format_table(
+        ["Dataset", "Vocab Words", "Training Words", "Size", "Questions",
+         "Paper Vocab", "Paper Words", "Paper Size"],
+        [
+            [
+                r["dataset"],
+                f'{r["vocabulary_words"]:,}',
+                f'{r["training_words"]:,}',
+                format_bytes(r["size_bytes"]),
+                r["questions"],
+                r["paper_vocabulary"],
+                r["paper_training_words"],
+                r["paper_size"],
+            ]
+            for r in rows
+        ],
+        title="Table 1: Datasets and their properties (synthetic stand-ins vs paper).",
+    )
+    return table
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""Tables 2 and 3: end-to-end comparison with the shared-memory state of
+the art.
+
+Table 2 (paper): execution time of Word2Vec-C ("W2V") and Gensim ("GEM") on
+1 host versus GraphWord2Vec ("GW2V") on 32 hosts, with the speedup of GW2V
+over W2V.  GEM runs out of memory on wiki.  Table 3: semantic / syntactic /
+total analogy accuracy of the same three systems.
+
+Both tables come from the same three training runs per dataset, executed
+once and cached (``repro.experiments.harness.main_comparison``).  GW2V's
+reported time is the modeled cluster time (max per-host compute per round +
+α–β communication; DESIGN.md §3); W2V/GEM report measured wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import harness
+from repro.util.tables import format_table
+
+__all__ = ["run", "format_table2", "format_table3", "main"]
+
+DATASETS = ("1-billion-sim", "news-sim", "wiki-sim")
+
+
+@dataclass
+class ComparisonRow:
+    dataset: str
+    w2v_seconds: float
+    gem_seconds: float | None  # None = OOM
+    gw2v_seconds: float
+    speedup: float
+    w2v_accuracy: object
+    gem_accuracy: object | None
+    gw2v_accuracy: object
+
+
+def run(
+    names: tuple[str, ...] = DATASETS,
+    epochs: int = harness.EXPERIMENT_PARAMS.epochs,
+    hosts: int = harness.PAPER_HOSTS,
+) -> list[ComparisonRow]:
+    rows = []
+    for name in names:
+        w2v, gem, gw2v = harness.main_comparison(name, epochs=epochs, hosts=hosts)
+        rows.append(
+            ComparisonRow(
+                dataset=name,
+                w2v_seconds=w2v.wall_seconds,
+                gem_seconds=None if gem.failure == "OOM" else gem.wall_seconds,
+                gw2v_seconds=float(gw2v.modeled_seconds or 0.0),
+                speedup=w2v.wall_seconds / max(gw2v.modeled_seconds or 1e-12, 1e-12),
+                w2v_accuracy=harness.accuracy_of(w2v, name),
+                gem_accuracy=harness.accuracy_of(gem, name),
+                gw2v_accuracy=harness.accuracy_of(gw2v, name),
+            )
+        )
+    return rows
+
+
+def format_table2(rows: list[ComparisonRow], hosts: int = harness.PAPER_HOSTS) -> str:
+    return format_table(
+        ["Dataset", "W2V (s)", "GEM (s)", f"GW2V@{hosts} (s)", "Speedup"],
+        [
+            [
+                r.dataset,
+                f"{r.w2v_seconds:.1f}",
+                "OOM" if r.gem_seconds is None else f"{r.gem_seconds:.1f}",
+                f"{r.gw2v_seconds:.1f}",
+                f"{r.speedup:.1f}x",
+            ]
+            for r in rows
+        ],
+        title=(
+            "Table 2: Execution time of W2V and GEM on 1 host and GW2V on "
+            f"{hosts} hosts (modeled), and speedup of GW2V over W2V."
+        ),
+    )
+
+
+def format_table3(rows: list[ComparisonRow]) -> str:
+    def cells(acc):
+        if acc is None:
+            return ["-", "-", "-"]
+        return [f"{acc.semantic:.1%}", f"{acc.syntactic:.1%}", f"{acc.total:.1%}"]
+
+    body = []
+    for r in rows:
+        body.append(
+            [r.dataset]
+            + cells(r.w2v_accuracy)
+            + cells(r.gem_accuracy)
+            + cells(r.gw2v_accuracy)
+        )
+    return format_table(
+        [
+            "Dataset",
+            "W2V sem", "W2V syn", "W2V tot",
+            "GEM sem", "GEM syn", "GEM tot",
+            "GW2V sem", "GW2V syn", "GW2V tot",
+        ],
+        body,
+        title="Table 3: Accuracy (semantic, syntactic, total) of W2V/GEM (1 host) and GW2V (32 hosts).",
+    )
+
+
+def main() -> None:
+    rows = run()
+    print(format_table2(rows))
+    print()
+    print(format_table3(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Galois-style shared-memory parallel engine.
+
+The paper implements the per-host Word2Vec operator on top of the Galois
+library's parallel constructs: ``do_all`` loops, concurrent worklists, and
+reducible accumulators.  This package reproduces those constructs with two
+executors — a deterministic sequential one (default; this repository targets
+single-core simulation) and a thread-pool one — behind the same API, so
+operator code is written once, Galois-style.
+"""
+
+from repro.galois.worklist import ChunkedLIFO, ChunkedWorklist, OrderedByIntegerMetric
+from repro.galois.do_all import DoAllExecutor, SerialExecutor, ThreadPoolDoAll, do_all
+from repro.galois.accumulators import GAccumulator, GReduceMax, GReduceMin
+from repro.galois.timers import StatTimer, TimerRegistry
+
+__all__ = [
+    "ChunkedWorklist",
+    "ChunkedLIFO",
+    "OrderedByIntegerMetric",
+    "DoAllExecutor",
+    "SerialExecutor",
+    "ThreadPoolDoAll",
+    "do_all",
+    "GAccumulator",
+    "GReduceMax",
+    "GReduceMin",
+    "StatTimer",
+    "TimerRegistry",
+]

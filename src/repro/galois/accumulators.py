@@ -1,0 +1,88 @@
+"""Reducible accumulators (Galois ``GAccumulator`` / ``GReduce*``).
+
+Operators running under ``do_all`` report statistics (pairs processed, loss,
+max degree seen, ...) through accumulators that support thread-local update
+and a final reduction.  The thread-pool executor gives each thread its own
+slot; reads reduce across slots.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["GAccumulator", "GReduceMax", "GReduceMin"]
+
+
+class _Reducible(Generic[T]):
+    """Thread-local slots + associative reduction."""
+
+    def __init__(self, identity: T, op: Callable[[T, T], T]):
+        self._identity = identity
+        self._op = op
+        self._local = threading.local()
+        self._slots: list[list[T]] = []
+        self._lock = threading.Lock()
+
+    def _slot(self) -> list[T]:
+        slot = getattr(self._local, "slot", None)
+        if slot is None:
+            slot = [self._identity]
+            self._local.slot = slot
+            with self._lock:
+                self._slots.append(slot)
+        return slot
+
+    def update(self, value: T) -> None:
+        slot = self._slot()
+        slot[0] = self._op(slot[0], value)
+
+    def reduce(self) -> T:
+        with self._lock:
+            values = [s[0] for s in self._slots]
+        out = self._identity
+        for v in values:
+            out = self._op(out, v)
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            for slot in self._slots:
+                slot[0] = self._identity
+
+
+class GAccumulator(_Reducible[float]):
+    """Summing accumulator; ``+=`` via :meth:`update`."""
+
+    def __init__(self, initial: float = 0.0):
+        super().__init__(0.0, lambda a, b: a + b)
+        if initial:
+            self.update(initial)
+
+    def __iadd__(self, value: float) -> "GAccumulator":
+        self.update(value)
+        return self
+
+    @property
+    def value(self) -> float:
+        return self.reduce()
+
+
+class GReduceMax(_Reducible[float]):
+    def __init__(self, identity: float = float("-inf")):
+        super().__init__(identity, max)
+
+    @property
+    def value(self) -> float:
+        return self.reduce()
+
+
+class GReduceMin(_Reducible[float]):
+    def __init__(self, identity: float = float("inf")):
+        super().__init__(identity, min)
+
+    @property
+    def value(self) -> float:
+        return self.reduce()

@@ -1,0 +1,89 @@
+"""``do_all`` parallel-loop abstraction.
+
+Galois application code expresses the operator as a function applied to every
+item of a range; the runtime chooses how to execute it.  We reproduce that
+split: operators written against :func:`do_all` run identically under the
+deterministic :class:`SerialExecutor` (the default — the simulated cluster
+executes hosts one at a time on a single core) and the
+:class:`ThreadPoolDoAll` executor (NumPy releases the GIL inside kernels, so
+threads provide genuine overlap when cores exist).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Iterable, Protocol, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["DoAllExecutor", "SerialExecutor", "ThreadPoolDoAll", "do_all"]
+
+
+class DoAllExecutor(Protocol):
+    """Strategy interface for executing a data-parallel loop."""
+
+    def run(self, items: Sequence[T], operator: Callable[[T], None]) -> None:
+        """Apply ``operator`` to every element of ``items``."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialExecutor:
+    """Deterministic in-order execution (reference semantics)."""
+
+    def run(self, items: Sequence[T], operator: Callable[[T], None]) -> None:
+        for item in items:
+            operator(item)
+
+
+class ThreadPoolDoAll:
+    """Thread-pool execution with Galois-style static chunking.
+
+    Items are split into ``workers`` contiguous chunks; each worker thread
+    runs one chunk.  With a NumPy-heavy operator the GIL is released inside
+    kernels, so this scales on multi-core machines; correctness does not
+    depend on it (operators must be Hogwild-safe, as in the paper).
+    """
+
+    def __init__(self, workers: int = 2):
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = int(workers)
+
+    def run(self, items: Sequence[T], operator: Callable[[T], None]) -> None:
+        items = list(items)
+        if not items:
+            return
+        workers = min(self.workers, len(items))
+        if workers == 1:
+            SerialExecutor().run(items, operator)
+            return
+        base, extra = divmod(len(items), workers)
+        chunks = []
+        start = 0
+        for i in range(workers):
+            size = base + (1 if i < extra else 0)
+            chunks.append(items[start : start + size])
+            start += size
+
+        def run_chunk(chunk: list[T]) -> None:
+            for item in chunk:
+                operator(item)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            # Propagate the first worker exception, if any.
+            for future in [pool.submit(run_chunk, c) for c in chunks]:
+                future.result()
+
+
+def do_all(
+    items: Iterable[T],
+    operator: Callable[[T], None],
+    executor: DoAllExecutor | None = None,
+) -> int:
+    """Apply ``operator`` to all ``items``; returns the item count.
+
+    ``executor`` defaults to :class:`SerialExecutor`.
+    """
+    seq = list(items)
+    (executor or SerialExecutor()).run(seq, operator)
+    return len(seq)

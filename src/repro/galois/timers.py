@@ -1,0 +1,70 @@
+"""Statistics timers, Galois ``StatTimer``-style.
+
+Used throughout the distributed engine to attribute wall-clock to phases
+(compute, inspection, serialization) per host; the cluster simulator combines
+them with modeled network time for the Figure 8/9 breakdowns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["StatTimer", "TimerRegistry"]
+
+
+@dataclass
+class StatTimer:
+    """Accumulating region timer; safe to start/stop repeatedly."""
+
+    name: str
+    total: float = 0.0
+    count: int = 0
+    _started: float | None = field(default=None, repr=False)
+
+    def start(self) -> "StatTimer":
+        if self._started is not None:
+            raise RuntimeError(f"timer {self.name!r} already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError(f"timer {self.name!r} is not running")
+        elapsed = time.perf_counter() - self._started
+        self._started = None
+        self.total += elapsed
+        self.count += 1
+        return elapsed
+
+    def __enter__(self) -> "StatTimer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def add(self, seconds: float) -> None:
+        """Record externally measured (or modeled) time."""
+        if seconds < 0:
+            raise ValueError(f"negative time {seconds}")
+        self.total += seconds
+        self.count += 1
+
+
+class TimerRegistry:
+    """Named timer collection (one per host in the simulator)."""
+
+    def __init__(self) -> None:
+        self._timers: dict[str, StatTimer] = {}
+
+    def get(self, name: str) -> StatTimer:
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = StatTimer(name)
+        return timer
+
+    def totals(self) -> dict[str, float]:
+        return {name: t.total for name, t in self._timers.items()}
+
+    def reset(self) -> None:
+        self._timers.clear()

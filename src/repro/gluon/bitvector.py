@@ -1,0 +1,141 @@
+"""Dense bit vector over uint64 words.
+
+Gluon tracks which nodes were updated in a synchronization round with a bit
+vector; only set positions participate in the reduce/broadcast phases
+(RepModel-Opt).  The vector also has a defined *wire size* so the simulated
+network can charge for shipping it alongside sparse payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["BitVector"]
+
+_WORD_BITS = 64
+
+
+class BitVector:
+    """Fixed-size bit set with NumPy word storage and vectorized bulk ops."""
+
+    __slots__ = ("size", "_words")
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self.size = int(size)
+        self._words = np.zeros((size + _WORD_BITS - 1) // _WORD_BITS, dtype=np.uint64)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_indices(cls, size: int, indices: Iterable[int] | np.ndarray) -> "BitVector":
+        bv = cls(size)
+        bv.set_many(indices)
+        return bv
+
+    def copy(self) -> "BitVector":
+        out = BitVector.__new__(BitVector)
+        out.size = self.size
+        out._words = self._words.copy()
+        return out
+
+    # -- element ops ------------------------------------------------------
+    def _check(self, index: int) -> int:
+        index = int(index)
+        if not 0 <= index < self.size:
+            raise IndexError(f"bit {index} out of range [0, {self.size})")
+        return index
+
+    def set(self, index: int) -> None:
+        index = self._check(index)
+        self._words[index >> 6] |= np.uint64(1 << (index & 63))
+
+    def clear(self, index: int) -> None:
+        index = self._check(index)
+        self._words[index >> 6] &= np.uint64(~(1 << (index & 63)) & (2**64 - 1))
+
+    def test(self, index: int) -> bool:
+        index = self._check(index)
+        return bool((self._words[index >> 6] >> np.uint64(index & 63)) & np.uint64(1))
+
+    __contains__ = test
+
+    # -- bulk ops ---------------------------------------------------------
+    def set_many(self, indices: Iterable[int] | np.ndarray) -> None:
+        idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
+        if idx.size == 0:
+            return
+        idx = idx.astype(np.int64, copy=False)
+        if idx.min() < 0 or idx.max() >= self.size:
+            raise IndexError(
+                f"indices out of range [0, {self.size}): "
+                f"min={idx.min()}, max={idx.max()}"
+            )
+        words = idx >> 6
+        bits = np.left_shift(np.uint64(1), (idx & 63).astype(np.uint64))
+        np.bitwise_or.at(self._words, words, bits)
+
+    def reset(self) -> None:
+        self._words[:] = 0
+
+    def count(self) -> int:
+        """Number of set bits (popcount)."""
+        return int(np.bitwise_count(self._words).sum())
+
+    def indices(self) -> np.ndarray:
+        """Sorted array of set bit positions (int64)."""
+        if self.size == 0:
+            return np.empty(0, dtype=np.int64)
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        return np.nonzero(bits[: self.size])[0].astype(np.int64)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.indices().tolist())
+
+    def any(self) -> bool:
+        return bool(self._words.any())
+
+    # -- set algebra ------------------------------------------------------
+    def _check_same_size(self, other: "BitVector") -> None:
+        if self.size != other.size:
+            raise ValueError(f"size mismatch: {self.size} vs {other.size}")
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_same_size(other)
+        out = self.copy()
+        out._words |= other._words
+        return out
+
+    def __ior__(self, other: "BitVector") -> "BitVector":
+        self._check_same_size(other)
+        self._words |= other._words
+        return self
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_same_size(other)
+        out = self.copy()
+        out._words &= other._words
+        return out
+
+    def __iand__(self, other: "BitVector") -> "BitVector":
+        self._check_same_size(other)
+        self._words &= other._words
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self.size == other.size and bool(np.array_equal(self._words, other._words))
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable; not hashable
+        raise TypeError("BitVector is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"BitVector(size={self.size}, count={self.count()})"
+
+    # -- wire accounting ---------------------------------------------------
+    def nbytes(self) -> int:
+        """Bytes needed to transmit this bit vector."""
+        return int(self._words.nbytes)

@@ -1,0 +1,180 @@
+"""Simulated message transport with exact byte accounting.
+
+The reproduction replaces the MPI/LCI transport under Gluon with an
+in-process network: messages are delivered immediately (the engine is bulk
+synchronous, so delivery order within a phase does not matter), and the
+network records, per communication phase, how many bytes each host sent and
+received.  Those records are both the paper's *communication volume* numbers
+(Figure 9 prints total volume) and the input to the α–β timing model in
+:mod:`repro.cluster.network` (Figures 8/9 time breakdowns).
+
+Wire-size conventions (documented so volumes are reproducible):
+
+- node ids: 4 bytes (uint32 — vocabularies here are < 2^32),
+- float payloads: 4 bytes per element (float32, as in the paper's vectors),
+- bit vectors: their word storage (``BitVector.nbytes``),
+- metadata header per message: 16 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["MessageStats", "PhaseRecord", "SimulatedNetwork", "HEADER_BYTES", "ID_BYTES", "VALUE_BYTES"]
+
+HEADER_BYTES = 16
+ID_BYTES = 4
+VALUE_BYTES = 4
+
+
+@dataclass
+class PhaseRecord:
+    """Per-host sent/received byte totals for one communication phase."""
+
+    name: str
+    num_hosts: int
+    sent: np.ndarray = field(default=None)  # type: ignore[assignment]
+    recv: np.ndarray = field(default=None)  # type: ignore[assignment]
+    messages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sent is None:
+            self.sent = np.zeros(self.num_hosts, dtype=np.int64)
+        if self.recv is None:
+            self.recv = np.zeros(self.num_hosts, dtype=np.int64)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.sent.sum())
+
+    def max_host_bytes(self) -> int:
+        """Busiest endpoint's traffic — the bandwidth-bound term."""
+        return int(np.maximum(self.sent, self.recv).max()) if self.num_hosts else 0
+
+
+@dataclass
+class MessageStats:
+    """Aggregated transport statistics."""
+
+    total_messages: int = 0
+    total_bytes: int = 0
+    bytes_by_phase: dict[str, int] = field(default_factory=dict)
+    messages_by_phase: dict[str, int] = field(default_factory=dict)
+
+    def record(self, phase: str, nbytes: int) -> None:
+        self.total_messages += 1
+        self.total_bytes += nbytes
+        self.bytes_by_phase[phase] = self.bytes_by_phase.get(phase, 0) + nbytes
+        self.messages_by_phase[phase] = self.messages_by_phase.get(phase, 0) + 1
+
+
+class SimulatedNetwork:
+    """Point-to-point transport among ``num_hosts`` simulated hosts.
+
+    Usage::
+
+        net = SimulatedNetwork(4)
+        with net.phase("reduce") as record:
+            net.send(src=1, dst=0, nbytes=..., payload=...)
+        msgs = net.drain(dst=0)
+
+    Sends outside a :meth:`phase` block are charged to the ``"default"``
+    phase.  ``drain`` returns and clears a host's inbox in arrival order.
+    """
+
+    def __init__(self, num_hosts: int):
+        if num_hosts <= 0:
+            raise ValueError(f"num_hosts must be positive, got {num_hosts}")
+        self.num_hosts = int(num_hosts)
+        self.stats = MessageStats()
+        self.phase_records: list[PhaseRecord] = []
+        self._active: PhaseRecord | None = None
+        self._default: PhaseRecord | None = None
+        self._inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(num_hosts)]
+
+    # -- phases -------------------------------------------------------------
+    def phase(self, name: str) -> "_PhaseContext":
+        return _PhaseContext(self, name)
+
+    def _begin_phase(self, name: str) -> PhaseRecord:
+        if self._active is not None:
+            raise RuntimeError(
+                f"phase {self._active.name!r} still active; phases do not nest"
+            )
+        self._active = PhaseRecord(name=name, num_hosts=self.num_hosts)
+        return self._active
+
+    def _end_phase(self) -> PhaseRecord:
+        if self._active is None:
+            raise RuntimeError("no active phase")
+        record, self._active = self._active, None
+        self.phase_records.append(record)
+        return record
+
+    # -- messaging ------------------------------------------------------------
+    def send(self, src: int, dst: int, nbytes: int, payload: Any = None) -> None:
+        """Deliver ``payload`` from ``src`` to ``dst``, charging ``nbytes``.
+
+        ``nbytes`` is the modeled wire size of the payload *excluding* the
+        fixed per-message header, which is added here.
+        """
+        for host, label in ((src, "src"), (dst, "dst")):
+            if not 0 <= host < self.num_hosts:
+                raise ValueError(f"{label} host {host} out of range [0, {self.num_hosts})")
+        if src == dst:
+            raise ValueError("loopback messages are local copies, not sends")
+        if nbytes < 0:
+            raise ValueError(f"negative payload size {nbytes}")
+        wire = int(nbytes) + HEADER_BYTES
+        if self._active is not None:
+            record = self._active
+        else:
+            if self._default is None:
+                self._default = PhaseRecord(name="default", num_hosts=self.num_hosts)
+                self.phase_records.append(self._default)
+            record = self._default
+        phase_name = record.name
+        record.sent[src] += wire
+        record.recv[dst] += wire
+        record.messages += 1
+        self.stats.record(phase_name, wire)
+        self._inboxes[dst].append((src, payload))
+
+    def drain(self, dst: int) -> list[tuple[int, Any]]:
+        """Return and clear ``dst``'s inbox as ``(src, payload)`` pairs."""
+        if not 0 <= dst < self.num_hosts:
+            raise ValueError(f"host {dst} out of range")
+        msgs, self._inboxes[dst] = self._inboxes[dst], []
+        return msgs
+
+    def pending(self, dst: int) -> int:
+        return len(self._inboxes[dst])
+
+    # -- accounting ------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self.stats.total_bytes
+
+    @property
+    def total_messages(self) -> int:
+        return self.stats.total_messages
+
+    def records_for(self, name: str) -> Iterator[PhaseRecord]:
+        return (r for r in self.phase_records if r.name == name)
+
+
+class _PhaseContext:
+    def __init__(self, net: SimulatedNetwork, name: str):
+        self._net = net
+        self._name = name
+        self.record: PhaseRecord | None = None
+
+    def __enter__(self) -> PhaseRecord:
+        self.record = self._net._begin_phase(self._name)
+        return self.record
+
+    def __exit__(self, *exc) -> None:
+        self._net._end_phase()

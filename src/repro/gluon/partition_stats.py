@@ -1,0 +1,73 @@
+"""Partition-quality analysis (Gill et al., PVLDB'19 — the paper's ref [10]).
+
+Partitioning policy drives distributed performance through three measures:
+*replication factor* (average proxies per node — the broadcast fan-out),
+*edge balance* (max/mean edges per host — the compute imbalance), and
+*master balance*.  This module computes them for any policy's output and
+backs the partition-policy ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.gluon.partitioner import Partition
+
+__all__ = ["PartitionStats", "analyze_partitions"]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    num_hosts: int
+    num_nodes: int
+    num_edges: int
+    replication_factor: float  # total proxies / nodes
+    edge_balance: float  # max edges per host / mean edges per host
+    master_balance: float  # max masters per host / mean masters per host
+    mirrors_total: int
+    edges_per_host: tuple[int, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"PartitionStats(hosts={self.num_hosts}, rf={self.replication_factor:.2f}, "
+            f"edge_balance={self.edge_balance:.2f}, "
+            f"master_balance={self.master_balance:.2f})"
+        )
+
+
+def analyze_partitions(partitions: Sequence[Partition]) -> PartitionStats:
+    """Compute quality measures for one partitioning of a graph."""
+    if not partitions:
+        raise ValueError("no partitions")
+    num_hosts = len(partitions)
+    num_nodes = partitions[0].num_global_nodes
+    proxies_total = sum(p.num_local for p in partitions)
+    masters_per_host = np.array(
+        [len(p.masters_local()) for p in partitions], dtype=np.int64
+    )
+    if int(masters_per_host.sum()) != num_nodes:
+        raise ValueError(
+            f"masters do not cover nodes exactly: {masters_per_host.sum()} of {num_nodes}"
+        )
+    edges_per_host = np.array(
+        [len(p.edges_local[0]) for p in partitions], dtype=np.int64
+    )
+    num_edges = int(edges_per_host.sum())
+
+    def balance(per_host: np.ndarray) -> float:
+        mean = per_host.mean()
+        return float(per_host.max() / mean) if mean > 0 else 1.0
+
+    return PartitionStats(
+        num_hosts=num_hosts,
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        replication_factor=proxies_total / float(num_nodes),
+        edge_balance=balance(edges_per_host),
+        master_balance=balance(masters_per_host),
+        mirrors_total=proxies_total - num_nodes,
+        edges_per_host=tuple(int(e) for e in edges_per_host),
+    )

@@ -1,0 +1,405 @@
+"""The Gluon reduce/broadcast synchronization engine.
+
+Two synchronization modes cover the library's needs:
+
+- :meth:`GluonSynchronizer.sync_replicated` — the GraphWord2Vec mode.  The
+  model (one or more ``(N, dim)`` label arrays) is replicated on all hosts;
+  each sync round, mirrors ship their accumulated *deltas* (current − base)
+  to the node's master, the master folds them with a
+  :class:`~repro.core.combiners.GradientCombiner` (model combiner, averaging,
+  sum, ...) on top of the canonical value, and new canonical values are
+  broadcast back according to a :class:`~repro.gluon.plans.CommPlan`.
+- :meth:`GluonSynchronizer.sync_value` — the classic graph-analytics mode
+  used by the apps in :mod:`repro.dgraph.apps`.  Mirrors send their label
+  *values*; masters reduce them with an elementwise operator (min for sssp,
+  add for pagerank residuals, ...); changed canonical values are broadcast to
+  every host holding a proxy.
+
+All payloads flow through the :class:`~repro.gluon.comm.SimulatedNetwork` —
+masters really consume what mirrors sent — so the byte accounting and the
+data movement cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.combiners import GradientCombiner
+from repro.gluon.bitvector import BitVector
+from repro.gluon.comm import ID_BYTES, VALUE_BYTES, PhaseRecord, SimulatedNetwork
+from repro.gluon.partitioner import Partition
+from repro.gluon.plans import CommPlan
+
+__all__ = ["FieldSync", "GluonSynchronizer", "ReplicatedSyncResult", "ValueSyncResult"]
+
+
+@dataclass
+class FieldSync:
+    """A replicated model field registered for synchronization.
+
+    ``arrays[h]`` is host ``h``'s replica, shape ``(N, dim)``; ``bases[h]``
+    is the snapshot taken at the start of the current round (what deltas are
+    measured against).  Both are updated in place by the synchronizer.
+    """
+
+    name: str
+    arrays: list[np.ndarray]
+    bases: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        shapes = {a.shape for a in self.arrays} | {b.shape for b in self.bases}
+        if len(shapes) != 1:
+            raise ValueError(f"field {self.name!r}: inconsistent replica shapes {shapes}")
+        if self.arrays[0].ndim != 2:
+            raise ValueError(f"field {self.name!r}: replicas must be 2-D (N, dim)")
+
+    @property
+    def dim(self) -> int:
+        return self.arrays[0].shape[1]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.arrays[0].shape[0]
+
+    def snapshot_bases(self) -> None:
+        """Record current replica values as the new delta baseline."""
+        for base, arr in zip(self.bases, self.arrays):
+            np.copyto(base, arr)
+
+
+@dataclass
+class ReplicatedSyncResult:
+    """Accounting for one replicated-field sync round."""
+
+    field: str
+    changed_per_master: list[np.ndarray]
+    reduce_record: PhaseRecord
+    broadcast_record: PhaseRecord
+    request_record: PhaseRecord | None = None
+    #: Per host: global ids whose replica was overwritten by the broadcast.
+    received_per_host: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def num_changed(self) -> int:
+        return int(sum(len(c) for c in self.changed_per_master))
+
+    @property
+    def total_bytes(self) -> int:
+        total = self.reduce_record.total_bytes + self.broadcast_record.total_bytes
+        if self.request_record is not None:
+            total += self.request_record.total_bytes
+        return total
+
+
+@dataclass
+class ValueSyncResult:
+    """Accounting for one value-mode sync round."""
+
+    field: str
+    #: Per host: local ids whose value changed during this sync (master
+    #: reductions and received broadcasts), for worklist-driven algorithms.
+    changed_local: list[np.ndarray]
+    reduce_record: PhaseRecord
+    broadcast_record: PhaseRecord
+
+    @property
+    def any_changed(self) -> bool:
+        return any(len(c) for c in self.changed_local)
+
+
+class GluonSynchronizer:
+    """Reduce/broadcast engine over a set of partitions and a network."""
+
+    def __init__(self, partitions: Sequence[Partition], network: SimulatedNetwork):
+        if not partitions:
+            raise ValueError("need at least one partition")
+        if len(partitions) != network.num_hosts:
+            raise ValueError(
+                f"{len(partitions)} partitions but network has {network.num_hosts} hosts"
+            )
+        hosts = sorted(p.host for p in partitions)
+        if hosts != list(range(len(partitions))):
+            raise ValueError(f"partition hosts must be 0..H-1, got {hosts}")
+        self.partitions = sorted(partitions, key=lambda p: p.host)
+        self.network = network
+        self.num_hosts = len(partitions)
+        self.bounds = self.partitions[0].master_bounds
+        # Mirror location map for value-mode sync: (master_host, mirror_host)
+        # -> sorted global ids in master_host's block proxied on mirror_host.
+        self._mirror_ids: dict[tuple[int, int], np.ndarray] = {}
+        for part in self.partitions:
+            owners = part.master_host_of(part.local_to_global)
+            for m in range(self.num_hosts):
+                if m == part.host:
+                    continue
+                ids = np.sort(part.local_to_global[owners == m])
+                self._mirror_ids[(m, part.host)] = ids
+
+    # ------------------------------------------------------------------
+    # Replicated-model synchronization (GraphWord2Vec)
+    # ------------------------------------------------------------------
+    def sync_replicated(
+        self,
+        field: FieldSync,
+        updated: Sequence[BitVector],
+        combiner: GradientCombiner,
+        plan: CommPlan,
+        accessed_next: Sequence[np.ndarray] | None = None,
+        fold_offset: int = 0,
+    ) -> ReplicatedSyncResult:
+        """One reduce+broadcast round for a replicated field.
+
+        ``updated[h]`` flags the nodes host ``h`` wrote since its base
+        snapshot.  ``accessed_next[h]`` (sorted global ids) is required by
+        plans with :attr:`~repro.gluon.plans.CommPlan.requires_access_sets`.
+        Bit vectors are *not* cleared and bases are *not* re-snapshotted here
+        — the trainer owns round boundaries (it may sync several fields).
+
+        ``fold_offset`` rotates the (order-dependent) inductive fold of
+        contributions: host ``fold_offset % H`` is folded first this round.
+        The paper leaves the induction order open; rotating it round-robin
+        avoids permanently privileging one host's shard (an ablation
+        benchmark quantifies the effect).
+        """
+        H = self.num_hosts
+        if len(updated) != H:
+            raise ValueError(f"need {H} updated bit-vectors, got {len(updated)}")
+        if plan.requires_access_sets and accessed_next is None:
+            raise ValueError(f"plan {plan.name} requires access sets")
+        for part in self.partitions:
+            if part.num_local != field.num_nodes:
+                raise ValueError(
+                    "sync_replicated requires fully replicated partitions "
+                    f"(host {part.host} has {part.num_local} of {field.num_nodes} nodes)"
+                )
+        dim = field.dim
+        dtype = field.arrays[0].dtype
+
+        touched = [updated[h].indices() for h in range(H)]
+        deltas = [
+            (field.arrays[h][touched[h]].astype(np.float64) -
+             field.bases[h][touched[h]].astype(np.float64))
+            for h in range(H)
+        ]
+
+        # -- reduce phase: mirrors -> masters ---------------------------------
+        with self.network.phase(f"reduce:{field.name}") as reduce_record:
+            for h in range(H):
+                t, d = touched[h], deltas[h]
+                owner = np.searchsorted(self.bounds, t, side="right") - 1
+                for m in range(H):
+                    if m == h:
+                        continue
+                    sel = owner == m
+                    ids = t[sel]
+                    block = int(self.bounds[m + 1] - self.bounds[m])
+                    wire = plan.reduce_wire_bytes(len(ids), dim, block)
+                    if wire > 0:
+                        self.network.send(h, m, wire, payload=(ids, d[sel]))
+
+            changed_per_master: list[np.ndarray] = []
+            for m in range(H):
+                lo, hi = int(self.bounds[m]), int(self.bounds[m + 1])
+                # Gather contributions in ascending host order: the master's
+                # own local delta participates exactly like a mirror's.
+                contribs: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+                own_sel = (touched[m] >= lo) & (touched[m] < hi)
+                contribs[m] = (touched[m][own_sel], deltas[m][own_sel])
+                for src, payload in self.network.drain(m):
+                    contribs[src] = payload
+                all_ids = [ids for ids, _ in contribs.values() if len(ids)]
+                if not all_ids:
+                    changed_per_master.append(np.empty(0, dtype=np.int64))
+                    continue
+                union = np.unique(np.concatenate(all_ids))
+                state = combiner.create(len(union), dim)
+                for src in sorted(contribs, key=lambda h: (h - fold_offset) % H):
+                    ids, vals = contribs[src]
+                    if len(ids) == 0:
+                        continue
+                    rows = np.searchsorted(union, ids)
+                    state.accumulate(rows, vals)
+                combined = state.result()
+                canonical = field.bases[m][union].astype(np.float64) + combined
+                field.arrays[m][union] = canonical.astype(dtype)
+                changed_per_master.append(union)
+
+        # -- pull-request phase (PullModel only) ------------------------------
+        request_record: PhaseRecord | None = None
+        if plan.requires_access_sets:
+            assert accessed_next is not None
+            with self.network.phase(f"request:{field.name}") as request_record:
+                for h in range(H):
+                    acc = np.asarray(accessed_next[h], dtype=np.int64)
+                    owner = np.searchsorted(self.bounds, acc, side="right") - 1
+                    for m in range(H):
+                        if m == h:
+                            continue
+                        ids = acc[owner == m]
+                        wire = plan.request_wire_bytes(len(ids))
+                        if wire > 0:
+                            self.network.send(h, m, wire, payload=ids)
+                # Masters consume the requests (content == accessed_next,
+                # which the broadcast below re-derives; drain keeps inboxes
+                # and the data/accounting paths consistent).
+                for m in range(H):
+                    self.network.drain(m)
+
+        # -- broadcast phase: masters -> mirrors ------------------------------
+        with self.network.phase(f"broadcast:{field.name}") as broadcast_record:
+            for m in range(H):
+                lo, hi = int(self.bounds[m]), int(self.bounds[m + 1])
+                changed = changed_per_master[m]
+                for h in range(H):
+                    if h == m:
+                        continue
+                    accessed = None
+                    if plan.requires_access_sets:
+                        acc = np.asarray(accessed_next[h], dtype=np.int64)  # type: ignore[index]
+                        accessed = acc[(acc >= lo) & (acc < hi)]
+                    ids, wire = plan.broadcast_selection(
+                        changed, hi - lo, accessed, dim
+                    )
+                    if wire > 0:
+                        self.network.send(
+                            m, h, wire, payload=(ids, field.arrays[m][ids].copy())
+                        )
+            received_per_host: list[np.ndarray] = []
+            for h in range(H):
+                got: list[np.ndarray] = []
+                for _src, (ids, vals) in self.network.drain(h):
+                    if len(ids):
+                        field.arrays[h][ids] = vals
+                        got.append(ids)
+                received_per_host.append(
+                    np.unique(np.concatenate(got)) if got else np.empty(0, np.int64)
+                )
+
+        # Repair the delta baselines: after the sync every overwritten replica
+        # row and every master row holds a canonical value, which is the new
+        # reference the next round's deltas are measured against.  Rows a
+        # plan chose not to refresh (PullModel) keep their old base — they
+        # will be refreshed (and re-based) before the host may touch them.
+        for h in range(H):
+            ids = received_per_host[h]
+            if len(ids):
+                field.bases[h][ids] = field.arrays[h][ids]
+        for m in range(H):
+            ids = changed_per_master[m]
+            if len(ids):
+                field.bases[m][ids] = field.arrays[m][ids]
+
+        return ReplicatedSyncResult(
+            field=field.name,
+            changed_per_master=changed_per_master,
+            reduce_record=reduce_record,
+            broadcast_record=broadcast_record,
+            request_record=request_record,
+            received_per_host=received_per_host,
+        )
+
+    # ------------------------------------------------------------------
+    # Value-mode synchronization (classic graph analytics)
+    # ------------------------------------------------------------------
+    def sync_value(
+        self,
+        name: str,
+        arrays: Sequence[np.ndarray],
+        updated: Sequence[BitVector],
+        reduce_op: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    ) -> ValueSyncResult:
+        """Reduce updated mirror *values* into masters, broadcast changes.
+
+        ``arrays[h]`` is host ``h``'s label array indexed by local id (1-D or
+        2-D); ``updated[h]`` flags locally-written nodes.  ``reduce_op`` must
+        be idempotent-safe elementwise (min, max, add-on-residue-semantics is
+        the caller's responsibility).  Returns per-host local ids whose value
+        changed so data-driven algorithms can refill worklists.  Bit vectors
+        are cleared.
+        """
+        H = self.num_hosts
+        width = 1 if arrays[0].ndim == 1 else int(arrays[0].shape[1])
+        changed_local: list[list[int]] = [[] for _ in range(H)]
+
+        with self.network.phase(f"reduce:{name}") as reduce_record:
+            for part in self.partitions:
+                h = part.host
+                idx = updated[h].indices()
+                if idx.size == 0:
+                    continue
+                gids = part.local_to_global[idx]
+                owners = part.master_host_of(gids)
+                for m in range(H):
+                    if m == h:
+                        continue
+                    sel = owners == m
+                    if not sel.any():
+                        continue
+                    ids = gids[sel]
+                    vals = arrays[h][idx[sel]].copy()
+                    wire = len(ids) * (ID_BYTES + width * VALUE_BYTES)
+                    self.network.send(h, m, wire, payload=(ids, vals))
+            master_changed: list[np.ndarray] = []
+            for part in self.partitions:
+                m = part.host
+                changed_ids: set[int] = set()
+                # The master's own local updates are already in its array but
+                # still count as changes to propagate.
+                own = updated[m].indices()
+                if own.size:
+                    own_g = part.local_to_global[own]
+                    own_masters = own_g[part.master_host_of(own_g) == m]
+                    changed_ids.update(int(g) for g in own_masters)
+                for _src, (ids, vals) in self.network.drain(m):
+                    rows = part.to_local_array(ids)
+                    before = arrays[m][rows].copy()
+                    arrays[m][rows] = reduce_op(arrays[m][rows], vals)
+                    delta = arrays[m][rows] != before
+                    if delta.ndim > 1:
+                        delta = delta.any(axis=1)
+                    changed_ids.update(int(g) for g in ids[delta])
+                    changed_local[m].extend(int(r) for r in rows[delta])
+                master_changed.append(
+                    np.array(sorted(changed_ids), dtype=np.int64)
+                )
+
+        with self.network.phase(f"broadcast:{name}") as broadcast_record:
+            for part in self.partitions:
+                m = part.host
+                changed = master_changed[m]
+                if changed.size == 0:
+                    continue
+                local_rows = part.to_local_array(changed)
+                values = arrays[m][local_rows]
+                for h in range(H):
+                    if h == m:
+                        continue
+                    on_h = self._mirror_ids[(m, h)]
+                    sel = np.isin(changed, on_h, assume_unique=True)
+                    if not sel.any():
+                        continue
+                    ids = changed[sel]
+                    wire = len(ids) * (ID_BYTES + width * VALUE_BYTES)
+                    self.network.send(m, h, wire, payload=(ids, values[sel].copy()))
+            for part in self.partitions:
+                h = part.host
+                for _src, (ids, vals) in self.network.drain(h):
+                    rows = part.to_local_array(ids)
+                    before = arrays[h][rows].copy()
+                    arrays[h][rows] = vals
+                    delta = arrays[h][rows] != before
+                    if delta.ndim > 1:
+                        delta = delta.any(axis=1)
+                    changed_local[h].extend(int(r) for r in rows[delta])
+
+        for bv in updated:
+            bv.reset()
+        return ValueSyncResult(
+            field=name,
+            changed_local=[np.array(sorted(set(c)), dtype=np.int64) for c in changed_local],
+            reduce_record=reduce_record,
+            broadcast_record=broadcast_record,
+        )

@@ -1,0 +1,41 @@
+"""Text substrate: vocabulary, corpora, sampling.
+
+Everything Word2Vec needs below the model: streaming vocabulary
+construction with hash-based node ids (paper §4.2), frequent-word
+subsampling (Mikolov et al. 2013), unigram^0.75 negative sampling with an
+alias table, corpus containers with per-host contiguous sharding, and the
+synthetic corpus generator that substitutes for the paper's 1-billion /
+news / wiki datasets (see DESIGN.md §3).
+"""
+
+from repro.text.corpus import Corpus
+from repro.text.negative_sampling import UnigramTable
+from repro.text.phrases import PhraseModel, apply_phrases, learn_phrases
+from repro.text.synthetic import (
+    AnalogyQuestion,
+    AnalogyQuestionSet,
+    RelationFamily,
+    SyntheticCorpusSpec,
+    generate_corpus,
+)
+from repro.text.tokenize import simple_tokenize
+from repro.text.topics import TopicCorpusSpec, generate_topic_corpus, topic_coherence
+from repro.text.vocab import Vocabulary
+
+__all__ = [
+    "Vocabulary",
+    "Corpus",
+    "UnigramTable",
+    "PhraseModel",
+    "learn_phrases",
+    "apply_phrases",
+    "simple_tokenize",
+    "RelationFamily",
+    "SyntheticCorpusSpec",
+    "AnalogyQuestion",
+    "AnalogyQuestionSet",
+    "generate_corpus",
+    "TopicCorpusSpec",
+    "generate_topic_corpus",
+    "topic_coherence",
+]

@@ -1,0 +1,159 @@
+"""Corpus container and per-host sharding (paper §4.1–4.2).
+
+A :class:`Corpus` is an encoded training corpus: a vocabulary plus sentences
+of node ids.  The distributed trainer partitions it into roughly equal
+*contiguous* chunks of sentences, one per host — mirroring the paper's
+logical partitioning of the corpus file that each host reads in parallel.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.text.vocab import Vocabulary
+
+__all__ = ["Corpus"]
+
+
+@dataclass
+class Corpus:
+    """Encoded sentences over a shared vocabulary."""
+
+    vocabulary: Vocabulary
+    sentences: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        V = len(self.vocabulary)
+        for i, s in enumerate(self.sentences):
+            s = np.asarray(s, dtype=np.int64)
+            if s.ndim != 1:
+                raise ValueError(f"sentence {i} is not 1-D")
+            if s.size and (s.min() < 0 or s.max() >= V):
+                raise ValueError(f"sentence {i} has out-of-vocabulary ids")
+            self.sentences[i] = s
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_token_sentences(
+        cls,
+        sentences: Iterable[Sequence[str]],
+        min_count: int = 1,
+        max_sentence_length: int | None = None,
+    ) -> "Corpus":
+        """Build vocabulary and encode in the two passes of Algorithm 1."""
+        token_sentences = [list(s) for s in sentences]
+        vocab = Vocabulary.from_sentences(token_sentences, min_count=min_count)
+        encoded = [vocab.encode(s) for s in token_sentences]
+        encoded = [s for s in encoded if s.size]
+        corpus = cls(vocab, encoded)
+        if max_sentence_length is not None:
+            corpus = corpus.split_long_sentences(max_sentence_length)
+        return corpus
+
+    @classmethod
+    def from_text(cls, text: str, min_count: int = 1) -> "Corpus":
+        """Whitespace-tokenized, newline-separated sentences."""
+        sentences = [line.split() for line in text.splitlines() if line.strip()]
+        return cls.from_token_sentences(sentences, min_count=min_count)
+
+    @classmethod
+    def from_file(
+        cls,
+        path,
+        min_count: int = 1,
+        tokenize: bool = False,
+        max_sentence_length: int | None = None,
+    ) -> "Corpus":
+        """Two streaming passes over a sentence-per-line text file.
+
+        Mirrors Algorithm 1's corpus handling: the file is never loaded
+        whole — pass one streams tokens to build the vocabulary (dropping
+        words below ``min_count``), pass two encodes sentences to id
+        arrays.  ``tokenize=True`` applies
+        :func:`repro.text.tokenize.simple_tokenize` instead of a plain
+        whitespace split.
+        """
+        from repro.text.tokenize import simple_tokenize
+
+        split = simple_tokenize if tokenize else str.split
+
+        def stream():
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    tokens = split(line)
+                    if tokens:
+                        yield tokens
+
+        vocab = Vocabulary.from_sentences(stream(), min_count=min_count)
+        encoded = [vocab.encode(tokens) for tokens in stream()]
+        corpus = cls(vocab, [s for s in encoded if s.size])
+        if max_sentence_length is not None:
+            corpus = corpus.split_long_sentences(max_sentence_length)
+        return corpus
+
+    def to_text(self) -> str:
+        """Inverse of :meth:`from_text` (up to min_count-dropped words)."""
+        buf = io.StringIO()
+        for sentence in self.sentences:
+            buf.write(" ".join(self.vocabulary.decode(sentence)))
+            buf.write("\n")
+        return buf.getvalue()
+
+    # -- statistics --------------------------------------------------------
+    @property
+    def num_sentences(self) -> int:
+        return len(self.sentences)
+
+    @property
+    def num_tokens(self) -> int:
+        return int(sum(len(s) for s in self.sentences))
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.sentences)
+
+    # -- transformations -------------------------------------------------------
+    def split_long_sentences(self, max_length: int) -> "Corpus":
+        """Split sentences longer than ``max_length`` (paper uses 10K)."""
+        if max_length <= 0:
+            raise ValueError(f"max_length must be positive, got {max_length}")
+        out: list[np.ndarray] = []
+        for s in self.sentences:
+            if len(s) <= max_length:
+                out.append(s)
+            else:
+                out.extend(s[i : i + max_length] for i in range(0, len(s), max_length))
+        return Corpus(self.vocabulary, out)
+
+    def shard(self, num_hosts: int) -> list[list[np.ndarray]]:
+        """Contiguous sentence chunks, balanced by token count.
+
+        Greedy prefix split: each host receives the next sentences until its
+        share of the total token count is met, so hosts end up with nearly
+        equal work while preserving corpus order (the paper's contiguous
+        file chunks).
+        """
+        if num_hosts <= 0:
+            raise ValueError(f"num_hosts must be positive, got {num_hosts}")
+        total = self.num_tokens
+        shards: list[list[np.ndarray]] = [[] for _ in range(num_hosts)]
+        target = total / num_hosts
+        host = 0
+        consumed = 0.0
+        for sentence in self.sentences:
+            # Move to the next host once this one's quota is filled (never
+            # past the last host).
+            while host < num_hosts - 1 and consumed >= target * (host + 1):
+                host += 1
+            shards[host].append(sentence)
+            consumed += len(sentence)
+        return shards
+
+    def __repr__(self) -> str:
+        return (
+            f"Corpus(sentences={self.num_sentences}, tokens={self.num_tokens}, "
+            f"vocab={len(self.vocabulary)})"
+        )

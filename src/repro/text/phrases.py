@@ -1,0 +1,106 @@
+"""Phrase detection (word2phrase.c; Mikolov et al. 2013 §4).
+
+The word2vec toolchain pre-processes corpora by merging frequent
+collocations into single tokens ("new york" -> "new_york") so they get
+their own vectors.  A bigram (a, b) is merged when
+
+    score(a, b) = (count(ab) − δ) / (count(a) · count(b)) > threshold
+
+with discount δ suppressing rare accidental co-occurrences.  Multiple
+passes build longer phrases ("new_york_times").  This implementation works
+on tokenized sentences and is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["PhraseModel", "learn_phrases", "apply_phrases"]
+
+JOINER = "_"
+
+
+@dataclass(frozen=True)
+class PhraseModel:
+    """Learned bigram merges and their scores."""
+
+    phrases: dict[str, float]  # "a b" -> score (only accepted merges)
+    delta: float
+    threshold: float
+
+    def __len__(self) -> int:
+        return len(self.phrases)
+
+    def __contains__(self, bigram: tuple[str, str]) -> bool:
+        return f"{bigram[0]} {bigram[1]}" in self.phrases
+
+
+def learn_phrases(
+    sentences: Iterable[Sequence[str]],
+    delta: float = 5.0,
+    threshold: float = 1e-4,
+    min_count: int = 2,
+) -> PhraseModel:
+    """One pass of word2phrase scoring over tokenized sentences.
+
+    ``threshold`` is on the *normalized* score — word2phrase.c uses raw
+    counts with a corpus-size-dependent threshold; dividing by the total
+    token count makes the knob corpus-size-independent here.
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if min_count < 1:
+        raise ValueError(f"min_count must be >= 1, got {min_count}")
+    unigrams: dict[str, int] = {}
+    bigrams: dict[tuple[str, str], int] = {}
+    total = 0
+    for sentence in sentences:
+        previous: str | None = None
+        for token in sentence:
+            unigrams[token] = unigrams.get(token, 0) + 1
+            total += 1
+            if previous is not None:
+                key = (previous, token)
+                bigrams[key] = bigrams.get(key, 0) + 1
+            previous = token
+    if total == 0:
+        raise ValueError("empty corpus")
+    phrases: dict[str, float] = {}
+    for (a, b), count in bigrams.items():
+        if count < min_count:
+            continue
+        score = (count - delta) * total / (unigrams[a] * unigrams[b])
+        # Normalize by total so the threshold is corpus-size independent;
+        # the extra `total` factor mirrors word2phrase.c's scaling.
+        if score / total > threshold:
+            phrases[f"{a} {b}"] = score / total
+    return PhraseModel(phrases=phrases, delta=delta, threshold=threshold)
+
+
+def apply_phrases(
+    sentences: Iterable[Sequence[str]],
+    model: PhraseModel,
+) -> list[list[str]]:
+    """Greedy left-to-right merge of accepted bigrams.
+
+    Each token participates in at most one merge per pass (as in
+    word2phrase.c); run :func:`learn_phrases` + :func:`apply_phrases`
+    again for longer phrases.
+    """
+    out: list[list[str]] = []
+    for sentence in sentences:
+        merged: list[str] = []
+        i = 0
+        n = len(sentence)
+        while i < n:
+            if i + 1 < n and f"{sentence[i]} {sentence[i + 1]}" in model.phrases:
+                merged.append(f"{sentence[i]}{JOINER}{sentence[i + 1]}")
+                i += 2
+            else:
+                merged.append(sentence[i])
+                i += 1
+        out.append(merged)
+    return out

@@ -1,0 +1,29 @@
+"""Minimal text normalization for user-supplied corpora.
+
+The reproduction's synthetic corpora are pre-tokenized; for real text we
+provide the normalization word2vec.c's demo scripts apply: lowercase,
+punctuation stripped to spaces, whitespace-split.  Deliberately simple and
+dependency-free — serious pipelines should tokenize upstream.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+__all__ = ["simple_tokenize", "sentences_from_lines"]
+
+_NON_WORD = re.compile(r"[^\w']+", flags=re.UNICODE)
+
+
+def simple_tokenize(text: str) -> list[str]:
+    """Lowercase, split on non-word characters, drop empties."""
+    return [token for token in _NON_WORD.split(text.lower()) if token]
+
+
+def sentences_from_lines(lines: Iterable[str]) -> Iterator[list[str]]:
+    """Tokenize an iterable of lines, skipping empty results."""
+    for line in lines:
+        tokens = simple_tokenize(line)
+        if tokens:
+            yield tokens

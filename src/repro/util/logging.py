@@ -1,0 +1,23 @@
+"""Library logging.
+
+We use stdlib :mod:`logging` with a ``repro.*`` namespace and never configure
+the root logger (that belongs to applications).  ``get_logger(__name__)`` is
+the only entry point modules should use.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_BASE = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Namespaced logger; accepts either ``repro.x.y`` or bare suffixes."""
+    if not name.startswith(_BASE):
+        name = f"{_BASE}.{name}"
+    logger = logging.getLogger(name)
+    logger.addHandler(logging.NullHandler())
+    return logger

@@ -1,0 +1,83 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library (corpus generation, negative
+sampling, window sampling, model initialization, partitioning) draws from a
+:class:`numpy.random.Generator` handed to it explicitly.  Distributed
+components need *independent but reproducible* streams per host; we derive
+them from a single root seed with ``numpy``'s ``SeedSequence`` spawning, so a
+run is a pure function of its root seed regardless of host count or
+scheduling order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["default_rng", "spawn_rngs", "SeedSequenceTree", "hash64"]
+
+# Default root seed used across examples/benchmarks so results are stable.
+DEFAULT_SEED = 0x5EED_C0DE
+
+
+def default_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a PCG64 generator seeded with ``seed`` (library default if None)."""
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """Return ``n`` independent generators derived from ``seed``.
+
+    Streams are statistically independent (SeedSequence spawning) and stable:
+    ``spawn_rngs(s, n)[i]`` is the same stream for every call with the same
+    ``s``, independent of ``n`` for ``i < n``.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(n)]
+
+
+class SeedSequenceTree:
+    """Hierarchical, named seed derivation.
+
+    ``tree.child("hosts", 3)`` always yields the same seed material for the
+    same (name, index) pair, letting e.g. host 3's negative-sampling stream be
+    reproducible independently of how many other streams were created.
+    """
+
+    def __init__(self, seed: int):
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def child(self, name: str, index: int = 0) -> np.random.Generator:
+        """Generator for the ``(name, index)`` slot under this tree."""
+        key = (self._seed, hash64(name), int(index))
+        return np.random.default_rng(np.random.SeedSequence(key))
+
+    def subtree(self, name: str, index: int = 0) -> "SeedSequenceTree":
+        """A derived tree; children of distinct subtrees never collide."""
+        mixed = np.random.SeedSequence(
+            (self._seed, hash64(name), int(index))
+        ).generate_state(1, dtype=np.uint64)[0]
+        return SeedSequenceTree(int(mixed))
+
+    def children(self, name: str, n: int) -> list[np.random.Generator]:
+        return [self.child(name, i) for i in range(n)]
+
+
+def hash64(text: str) -> int:
+    """Stable 64-bit FNV-1a hash of ``text``.
+
+    Used both for seed derivation and for the word -> node-id hash mapping in
+    the vocabulary (the paper hashes vocabulary strings to node ids with the
+    same function on all hosts).  Python's built-in ``hash`` is salted per
+    process, so it cannot be used for cross-host agreement.
+    """
+    h = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for benchmark harness output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this module renders them without third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_row", "format_number", "format_bytes"]
+
+
+def format_number(value: Any, precision: int = 2) -> str:
+    """Human formatting: floats to ``precision`` places, ints verbatim."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e5 or (0 < abs(value) < 1e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:,.{precision}f}"
+    return str(value)
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary-ish unit ladder (paper uses TB)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(value) < 1000.0 or unit == "PB":
+            return f"{value:,.2f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_row(cells: Sequence[Any], widths: Sequence[int]) -> str:
+    parts = []
+    for cell, width in zip(cells, widths):
+        text = cell if isinstance(cell, str) else format_number(cell)
+        parts.append(text.rjust(width))
+    return "  ".join(parts)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    rendered_rows = [
+        [cell if isinstance(cell, str) else format_number(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers), widths))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Word2Vec Skip-Gram with negative sampling, shared-memory and distributed.
+
+- :mod:`repro.w2v.params` — hyperparameters (paper §5.1 defaults),
+- :mod:`repro.w2v.model` — the per-node label vectors (embedding and
+  output layers; Figure 1's node labels),
+- :mod:`repro.w2v.sgd` — pair generation and the vectorized SGNS kernel,
+- :mod:`repro.w2v.cbow` / :mod:`repro.w2v.hs` / :mod:`repro.w2v.huffman` —
+  the rest of the Word2Vec family (CBOW; hierarchical softmax over a
+  Huffman tree),
+- :mod:`repro.w2v.steps` — uniform round-work construction for all four
+  architecture x objective configurations,
+- :mod:`repro.w2v.shared_memory` — the single-host trainer (the paper's SM
+  baseline and the per-host compute of the distributed trainer),
+- :mod:`repro.w2v.distributed` — GraphWord2Vec (Algorithm 1) over the
+  Gluon substrate with pluggable combiners and communication plans.
+"""
+
+from repro.w2v.distributed import DistributedTrainResult, GraphWord2Vec
+from repro.w2v.huffman import HuffmanTree
+from repro.w2v.model import Word2VecModel
+from repro.w2v.params import Word2VecParams
+from repro.w2v.shared_memory import SharedMemoryWord2Vec
+
+__all__ = [
+    "Word2VecParams",
+    "Word2VecModel",
+    "HuffmanTree",
+    "SharedMemoryWord2Vec",
+    "GraphWord2Vec",
+    "DistributedTrainResult",
+]

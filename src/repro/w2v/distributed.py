@@ -1,0 +1,456 @@
+"""GraphWord2Vec: distributed Word2Vec training (paper Algorithm 1, §4).
+
+Formulation.  Vocabulary words are graph nodes carrying two labels (the
+embedding and output-layer vectors); training pairs are edges generated on
+the fly each round from the per-host worklist (the host's contiguous shard
+of the corpus).  Because an edge may connect any pair of nodes, the graph
+is partitioned with the *replicate-all* policy: every host holds a proxy
+for every node, masters block-distributed (paper §4.2, Figures 4/5).
+
+Execution.  Per epoch, each host's worklist is split into ``S``
+synchronization rounds.  A round applies the Word2Vec operator to the
+host's chunk (updating its replica in place) and then bulk-synchronizes
+both label fields through Gluon: mirrors ship *deltas* since the round's
+base, the master folds them with the configured combiner (model combiner
+by default), and new canonical values are broadcast back under the
+configured communication plan (RepModel-Naive / RepModel-Opt / PullModel).
+After all rounds the learning rate decays and the next epoch begins.
+
+Configurations.  The paper evaluates Skip-Gram with negative sampling; all
+four {Skip-Gram, CBOW} x {negative sampling, hierarchical softmax}
+combinations are supported (``Word2VecParams.architecture``/``objective``).
+Under hierarchical softmax the output field has one node per Huffman inner
+node (V-1), synchronized over its own replicate-all partitions.
+
+Determinism.  Every stochastic choice (shuffles, subsampling, windows,
+negatives) is drawn from a seed tree keyed by (epoch, round, host), so runs
+are pure functions of the seed — in particular the *same* training examples
+are generated under every communication plan, which is what makes the
+"plans differ only in bytes, never in the model" invariant testable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.network import NetworkModel, SCALED_DEFAULT
+from repro.cluster.simulator import DistributedRunReport
+from repro.core.combiners import GradientCombiner, get_combiner
+from repro.gluon.bitvector import BitVector
+from repro.gluon.comm import SimulatedNetwork
+from repro.gluon.partitioner import replicate_all_partitions
+from repro.gluon.plans import CommPlan, get_plan
+from repro.gluon.sync import FieldSync, GluonSynchronizer
+from repro.text.corpus import Corpus
+from repro.text.negative_sampling import UnigramTable
+from repro.util.rng import SeedSequenceTree
+from repro.w2v.huffman import HuffmanTree
+from repro.w2v.model import Word2VecModel
+from repro.w2v.params import Word2VecParams
+from repro.w2v.steps import RoundWork, build_round_work, output_rows_for
+
+__all__ = ["GraphWord2Vec", "DistributedTrainResult", "default_sync_rounds"]
+
+
+def default_sync_rounds(num_hosts: int) -> int:
+    """The paper's rule of thumb: frequency grows ~linearly with hosts.
+
+    Matches the host(frequency) labels of Figures 8/9 — 1(1), 2(3), 4(6),
+    8(12), 16(24), 32(48), 64(96): ``S = max(1, round(1.5 * H))``.
+    """
+    if num_hosts <= 0:
+        raise ValueError(f"num_hosts must be positive, got {num_hosts}")
+    return max(1, round(1.5 * num_hosts))
+
+
+@dataclass
+class DistributedTrainResult:
+    """Final canonical model plus the run's accounting."""
+
+    model: Word2VecModel
+    report: DistributedRunReport
+    epoch_pairs: list[int] = field(default_factory=list)
+
+
+class GraphWord2Vec:
+    """Distributed Word2Vec on the simulated Gluon cluster."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        params: Word2VecParams = Word2VecParams(),
+        num_hosts: int = 1,
+        sync_rounds_per_epoch: int | None = None,
+        combiner: str | GradientCombiner = "mc",
+        plan: str | CommPlan = "opt",
+        seed: int | None = None,
+        network_model: NetworkModel = SCALED_DEFAULT,
+        compute_loss: bool = False,
+        host_speed_factors: list[float] | None = None,
+    ):
+        """``host_speed_factors`` models a heterogeneous cluster: host h's
+        measured compute time is scaled by factor[h] (>1 = slower host)
+        before entering the BSP timing model, whose per-round max then
+        shows the straggler effect.  Training results are unaffected —
+        only the modeled wall-clock changes."""
+        if num_hosts <= 0:
+            raise ValueError(f"num_hosts must be positive, got {num_hosts}")
+        if host_speed_factors is not None:
+            if len(host_speed_factors) != num_hosts:
+                raise ValueError(
+                    f"need {num_hosts} speed factors, got {len(host_speed_factors)}"
+                )
+            if any(f <= 0 for f in host_speed_factors):
+                raise ValueError("speed factors must be positive")
+        vocab_size = len(corpus.vocabulary)
+        output_rows = output_rows_for(params, vocab_size)
+        if min(vocab_size, output_rows) < num_hosts:
+            raise ValueError(
+                f"vocabulary ({vocab_size}) smaller than host count ({num_hosts})"
+            )
+        self.corpus = corpus.split_long_sentences(params.max_sentence_length)
+        self.params = params
+        self.num_hosts = int(num_hosts)
+        self.sync_rounds = (
+            default_sync_rounds(num_hosts)
+            if sync_rounds_per_epoch is None
+            else int(sync_rounds_per_epoch)
+        )
+        if self.sync_rounds < 1:
+            raise ValueError(f"sync rounds must be >= 1, got {self.sync_rounds}")
+        self.combiner = (
+            get_combiner(combiner) if isinstance(combiner, str) else combiner
+        )
+        self.plan = get_plan(plan) if isinstance(plan, str) else plan
+        self.network_model = network_model
+        self.compute_loss = compute_loss
+        self.host_speed_factors = (
+            [1.0] * num_hosts if host_speed_factors is None else list(host_speed_factors)
+        )
+        self._seeds = SeedSequenceTree(seed if seed is not None else 0)
+
+        vocab = corpus.vocabulary
+        self._keep_prob = vocab.keep_probabilities(params.subsample_threshold)
+        self._table = (
+            UnigramTable(vocab.counts) if params.objective == "negative" else None
+        )
+        self._tree = (
+            HuffmanTree.from_counts(vocab.counts)
+            if params.objective == "hierarchical"
+            else None
+        )
+
+        # Substrate: replicate-all partitions per field (the output layer
+        # has its own node space under hierarchical softmax), one network.
+        self.network = SimulatedNetwork(self.num_hosts)
+        self.partitions = replicate_all_partitions(vocab_size, self.num_hosts)
+        self._sync_emb = GluonSynchronizer(self.partitions, self.network)
+        if output_rows == vocab_size:
+            self.partitions_out = self.partitions
+            self._sync_out = self._sync_emb
+        else:
+            self.partitions_out = replicate_all_partitions(
+                output_rows, self.num_hosts
+            )
+            self._sync_out = GluonSynchronizer(self.partitions_out, self.network)
+        self.metrics = ClusterMetrics(self.num_hosts)
+        self.bounds = self.partitions[0].master_bounds
+        self.bounds_out = self.partitions_out[0].master_bounds
+
+        # Model replicas: identical initialization on every host (all hosts
+        # derive it from the shared seed, as they derive node ids from the
+        # shared hash function).
+        init = Word2VecModel.initialize(
+            vocab_size, params.dim, self._seeds.child("init"), output_rows=output_rows
+        )
+        self._fields = {
+            "embedding": FieldSync(
+                "embedding",
+                arrays=[init.embedding.copy() for _ in range(self.num_hosts)],
+                bases=[init.embedding.copy() for _ in range(self.num_hosts)],
+            ),
+            "training": FieldSync(
+                "training",
+                arrays=[init.training.copy() for _ in range(self.num_hosts)],
+                bases=[init.training.copy() for _ in range(self.num_hosts)],
+            ),
+        }
+
+        # Per-host contiguous shards of the corpus (Algorithm 1, line 4).
+        self._shards = self.corpus.shard(self.num_hosts)
+        self._epoch_chunks_cache: dict[int, list[list[list[np.ndarray]]]] = {}
+        self._work_cache: dict[tuple[int, int, int], RoundWork] = {}
+        self._pairs_total = 0
+        self._epoch_pairs: list[int] = []
+        self._peak_access_rows = 0
+        self._completed_epochs = 0
+
+    # ------------------------------------------------------------------
+    # Deterministic work generation
+    # ------------------------------------------------------------------
+    def _epoch_chunks(self, epoch: int) -> list[list[list[np.ndarray]]]:
+        """``[host][round] -> sentences`` for ``epoch`` (shuffled, memoized)."""
+        cached = self._epoch_chunks_cache.get(epoch)
+        if cached is not None:
+            return cached
+        per_host: list[list[list[np.ndarray]]] = []
+        for host in range(self.num_hosts):
+            sentences = list(self._shards[host])
+            if self.params.shuffle_each_epoch and len(sentences) > 1:
+                rng = self._seeds.subtree("epoch", epoch).child("shuffle", host)
+                order = rng.permutation(len(sentences))
+                sentences = [sentences[i] for i in order]
+            # Contiguous split into S nearly-equal rounds (Algorithm 1 l.8).
+            S = self.sync_rounds
+            base, extra = divmod(len(sentences), S)
+            rounds = []
+            start = 0
+            for s in range(S):
+                size = base + (1 if s < extra else 0)
+                rounds.append(sentences[start : start + size])
+                start += size
+            per_host.append(rounds)
+        # Only the current and next epoch are ever needed.
+        self._epoch_chunks_cache = {
+            k: v for k, v in self._epoch_chunks_cache.items() if k >= epoch - 1
+        }
+        self._epoch_chunks_cache[epoch] = per_host
+        return per_host
+
+    def _get_work(self, epoch: int, round_index: int, host: int) -> RoundWork:
+        """The (memoized) round work for one (epoch, round, host) slot.
+
+        Work is a pure function of the seed tree, so inspection (which needs
+        it one sync early under PullModel) and compute see the same edges
+        without storing more than ~two rounds of examples.
+        """
+        key = (epoch, round_index, host)
+        work = self._work_cache.get(key)
+        if work is None:
+            sentences = self._epoch_chunks(epoch)[host][round_index]
+            rng = (
+                self._seeds.subtree("epoch", epoch)
+                .subtree("round", round_index)
+                .child("pairs", host)
+            )
+            work = build_round_work(
+                sentences,
+                params=self.params,
+                keep_prob=self._keep_prob,
+                table=self._table,
+                tree=self._tree,
+                rng=rng,
+            )
+            self._work_cache[key] = work
+        return work
+
+    def _pop_work(self, epoch: int, round_index: int, host: int) -> RoundWork:
+        work = self._get_work(epoch, round_index, host)
+        del self._work_cache[(epoch, round_index, host)]
+        return work
+
+    def _next_slot(self, epoch: int, round_index: int) -> tuple[int, int] | None:
+        if round_index + 1 < self.sync_rounds:
+            return epoch, round_index + 1
+        if epoch + 1 < self.params.epochs:
+            return epoch + 1, 0
+        return None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        epoch_callback: Callable[[int, Word2VecModel], None] | None = None,
+        until_epoch: int | None = None,
+    ) -> DistributedTrainResult:
+        """Train remaining epochs (all, or up to ``until_epoch`` exclusive).
+
+        ``until_epoch`` does not change the learning-rate schedule — it only
+        pauses training, so a paused-and-resumed run replays the exact same
+        steps as an uninterrupted one (see :meth:`save_checkpoint`).
+        """
+        params = self.params
+        stop = params.epochs if until_epoch is None else min(until_epoch, params.epochs)
+        emb_field = self._fields["embedding"]
+        out_field = self._fields["training"]
+        V = emb_field.num_nodes
+        O = out_field.num_nodes
+
+        for epoch in range(self._completed_epochs, stop):
+            lr = params.learning_rate_for_epoch(epoch)
+            epoch_pairs = 0
+            for s in range(self.sync_rounds):
+                self.metrics.begin_round()
+                updated_emb = [BitVector(V) for _ in range(self.num_hosts)]
+                updated_out = [BitVector(O) for _ in range(self.num_hosts)]
+
+                # -- compute phase (hosts run concurrently on a cluster; we
+                #    execute them one after another and keep per-host time).
+                for host in range(self.num_hosts):
+                    work = self._pop_work(epoch, s, host)
+                    start = time.perf_counter()
+                    _loss, pairs = work.apply(
+                        emb_field.arrays[host],
+                        out_field.arrays[host],
+                        lr,
+                        params.batch_pairs,
+                        compute_loss=self.compute_loss,
+                    )
+                    self.metrics.record_compute(
+                        host,
+                        (time.perf_counter() - start) * self.host_speed_factors[host],
+                    )
+                    if work.embedding_access.size:
+                        updated_emb[host].set_many(work.embedding_access)
+                    if work.output_access.size:
+                        updated_out[host].set_many(work.output_access)
+                    epoch_pairs += pairs
+
+                # -- inspection phase (PullModel): generate the next round's
+                #    edges to learn which nodes each host will access.
+                accessed_emb = accessed_out = None
+                if self.plan.requires_access_sets:
+                    accessed_emb, accessed_out = [], []
+                    next_slot = self._next_slot(epoch, s)
+                    for host in range(self.num_hosts):
+                        if next_slot is None:
+                            empty = np.empty(0, dtype=np.int64)
+                            accessed_emb.append(empty)
+                            accessed_out.append(empty)
+                            continue
+                        start = time.perf_counter()
+                        next_work = self._get_work(*next_slot, host)
+                        self.metrics.record_inspection(
+                            host, time.perf_counter() - start
+                        )
+                        accessed_emb.append(next_work.embedding_access)
+                        accessed_out.append(next_work.output_access)
+                        self._peak_access_rows = max(
+                            self._peak_access_rows,
+                            int(
+                                next_work.embedding_access.size
+                                + next_work.output_access.size
+                            ),
+                        )
+
+                # -- synchronization (Algorithm 1, line 10).  The inductive
+                # fold order rotates with the global round counter so no
+                # host's shard is permanently favored by the combiner.
+                fold = epoch * self.sync_rounds + s
+                self._sync_emb.sync_replicated(
+                    emb_field, updated_emb, self.combiner, self.plan,
+                    accessed_next=accessed_emb, fold_offset=fold,
+                )
+                self._sync_out.sync_replicated(
+                    out_field, updated_out, self.combiner, self.plan,
+                    accessed_next=accessed_out, fold_offset=fold,
+                )
+                self.metrics.end_round()
+
+            self._pairs_total += epoch_pairs
+            self._epoch_pairs.append(epoch_pairs)
+            self._completed_epochs = epoch + 1
+            if epoch_callback is not None:
+                epoch_callback(epoch, self.canonical_model())
+
+        report = DistributedRunReport.build(
+            num_hosts=self.num_hosts,
+            sync_rounds_per_epoch=self.sync_rounds,
+            epochs=params.epochs,
+            plan=self.plan.name,
+            combiner=self.combiner.name,
+            metrics=self.metrics,
+            network=self.network,
+            model=self.network_model,
+            pairs_processed=self._pairs_total,
+            peak_replica_rows=self._peak_access_rows,
+        )
+        return DistributedTrainResult(
+            model=self.canonical_model(),
+            report=report,
+            epoch_pairs=list(self._epoch_pairs),
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _config_fingerprint(self) -> str:
+        """Identifies the training configuration a checkpoint belongs to."""
+        return (
+            f"{self.params!r}|hosts={self.num_hosts}|S={self.sync_rounds}"
+            f"|combiner={self.combiner.name}|plan={self.plan.name}"
+            f"|seed={self._seeds.seed}|corpus_tokens={self.corpus.num_tokens}"
+        )
+
+    def save_checkpoint(self) -> bytes:
+        """Serialize the canonical model and epoch progress.
+
+        Checkpoints are epoch-granular: training resumed from one replays
+        the remaining epochs exactly (work generation is a pure function of
+        the seed tree).  Communication/compute accounting restarts at
+        resume, so a resumed run's report covers only post-resume work.
+        """
+        import io
+
+        model = self.canonical_model()
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            embedding=model.embedding,
+            training=model.training,
+            completed_epochs=np.int64(self._completed_epochs),
+            fingerprint=np.frombuffer(
+                self._config_fingerprint().encode(), dtype=np.uint8
+            ),
+        )
+        return buf.getvalue()
+
+    def load_checkpoint(self, blob: bytes) -> int:
+        """Restore a checkpoint into this trainer; returns the next epoch.
+
+        The trainer must be constructed with the same corpus, parameters,
+        topology and seed the checkpoint was taken from (verified).  All
+        replicas are set to the canonical values, which matches the
+        post-sync state for the RepModel plans and is a valid (fully
+        refreshed) state for PullModel.
+        """
+        import io
+
+        with np.load(io.BytesIO(blob)) as data:
+            fingerprint = bytes(data["fingerprint"]).decode()
+            if fingerprint != self._config_fingerprint():
+                raise ValueError(
+                    "checkpoint belongs to a different training configuration"
+                )
+            embedding = data["embedding"]
+            training = data["training"]
+            completed = int(data["completed_epochs"])
+        for h in range(self.num_hosts):
+            np.copyto(self._fields["embedding"].arrays[h], embedding)
+            np.copyto(self._fields["embedding"].bases[h], embedding)
+            np.copyto(self._fields["training"].arrays[h], training)
+            np.copyto(self._fields["training"].bases[h], training)
+        self._completed_epochs = completed
+        self._work_cache.clear()
+        self._epoch_chunks_cache.clear()
+        return completed
+
+    # ------------------------------------------------------------------
+    # Model assembly
+    # ------------------------------------------------------------------
+    def canonical_model(self) -> Word2VecModel:
+        """Assemble the canonical model from each host's master block."""
+        emb = np.empty_like(self._fields["embedding"].arrays[0])
+        trn = np.empty_like(self._fields["training"].arrays[0])
+        for host in range(self.num_hosts):
+            lo, hi = int(self.bounds[host]), int(self.bounds[host + 1])
+            emb[lo:hi] = self._fields["embedding"].arrays[host][lo:hi]
+            lo_o, hi_o = int(self.bounds_out[host]), int(self.bounds_out[host + 1])
+            trn[lo_o:hi_o] = self._fields["training"].arrays[host][lo_o:hi_o]
+        return Word2VecModel(emb.copy(), trn.copy())

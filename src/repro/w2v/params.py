@@ -1,0 +1,114 @@
+"""Hyperparameters for Skip-Gram training.
+
+Defaults follow the paper's evaluation configuration (§5.1): window 5,
+15 negative samples, 1e-4 subsampling threshold, 16 epochs, initial learning
+rate 0.025, maximum sentence length 10K.  ``dim`` defaults to 64 here rather
+than the paper's 200 because the synthetic corpora are ~10^3 x smaller than
+the paper's (see DESIGN.md §3); every benchmark states the value it uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+__all__ = ["Word2VecParams"]
+
+
+ARCHITECTURES = ("skipgram", "cbow")
+OBJECTIVES = ("negative", "hierarchical")
+LR_SCHEDULES = ("linear", "cosine", "step", "constant")
+
+
+@dataclass(frozen=True)
+class Word2VecParams:
+    dim: int = 64
+    window: int = 5
+    negatives: int = 15
+    #: "skipgram" (the paper's evaluated model) or "cbow".
+    architecture: str = "skipgram"
+    #: "negative" (sampling; the paper's configuration) or "hierarchical"
+    #: (Huffman-tree softmax).
+    objective: str = "negative"
+    learning_rate: float = 0.025
+    min_learning_rate_fraction: float = 1e-4  # floor = lr * fraction
+    #: Per-epoch decay shape: "linear" (word2vec.c and the paper's
+    #: Algorithm 1), "cosine", "step" (halve each quarter), or "constant".
+    lr_schedule: str = "linear"
+    epochs: int = 16
+    subsample_threshold: float = 1e-4
+    min_count: int = 1
+    max_sentence_length: int = 10_000
+    batch_pairs: int = 256  # pairs per Hogwild-style scatter-add batch
+    shuffle_each_epoch: bool = True
+
+    def __post_init__(self) -> None:
+        checks: list[tuple[bool, str]] = [
+            (self.dim > 0, f"dim must be positive, got {self.dim}"),
+            (self.window >= 1, f"window must be >= 1, got {self.window}"),
+            (self.negatives >= 0, f"negatives must be >= 0, got {self.negatives}"),
+            (self.learning_rate > 0, f"learning_rate must be positive, got {self.learning_rate}"),
+            (
+                0 < self.min_learning_rate_fraction <= 1,
+                f"min_learning_rate_fraction must be in (0, 1], got {self.min_learning_rate_fraction}",
+            ),
+            (self.epochs >= 1, f"epochs must be >= 1, got {self.epochs}"),
+            (
+                self.subsample_threshold > 0,
+                f"subsample_threshold must be positive, got {self.subsample_threshold}",
+            ),
+            (self.min_count >= 1, f"min_count must be >= 1, got {self.min_count}"),
+            (
+                self.max_sentence_length >= 2,
+                f"max_sentence_length must be >= 2, got {self.max_sentence_length}",
+            ),
+            (self.batch_pairs >= 1, f"batch_pairs must be >= 1, got {self.batch_pairs}"),
+            (
+                self.architecture in ARCHITECTURES,
+                f"architecture must be one of {ARCHITECTURES}, got {self.architecture!r}",
+            ),
+            (
+                self.objective in OBJECTIVES,
+                f"objective must be one of {OBJECTIVES}, got {self.objective!r}",
+            ),
+            (
+                self.objective != "negative" or self.negatives >= 0,
+                "negative sampling requires negatives >= 0",
+            ),
+            (
+                self.lr_schedule in LR_SCHEDULES,
+                f"lr_schedule must be one of {LR_SCHEDULES}, got {self.lr_schedule!r}",
+            ),
+        ]
+        for ok, message in checks:
+            if not ok:
+                raise ValueError(message)
+
+    def with_(self, **changes: Any) -> "Word2VecParams":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def learning_rate_for_epoch(self, epoch: int) -> float:
+        """Decayed rate for ``epoch`` (0-based), floored.
+
+        Algorithm 1 decays α once per epoch; the default is word2vec.c's
+        linear schedule.  Alternatives (cosine / step / constant) are
+        provided because, as the paper notes, finding a good schedule "is
+        more of an art than science".  All schedules respect the customary
+        ``learning_rate * min_learning_rate_fraction`` floor.
+        """
+        if not 0 <= epoch < self.epochs:
+            raise ValueError(f"epoch {epoch} out of range [0, {self.epochs})")
+        import math
+
+        progress = epoch / self.epochs
+        if self.lr_schedule == "linear":
+            rate = self.learning_rate * (1.0 - progress)
+        elif self.lr_schedule == "cosine":
+            rate = self.learning_rate * 0.5 * (1.0 + math.cos(math.pi * progress))
+        elif self.lr_schedule == "step":
+            rate = self.learning_rate * 0.5 ** int(progress * 4)
+        else:  # constant
+            rate = self.learning_rate
+        floor = self.learning_rate * self.min_learning_rate_fraction
+        return max(rate, floor)

@@ -1,0 +1,263 @@
+"""Skip-Gram negative-sampling pair generation and SGD kernel.
+
+Follows word2vec.c's training schedule:
+
+- frequent-word subsampling removes tokens up front (probabilities from
+  :meth:`repro.text.vocab.Vocabulary.keep_probabilities`),
+- each surviving position gets a *dynamic* window ``b ~ U{1..window}``;
+  every in-window neighbor forms a positive pair where the neighbor is the
+  **input** (embedding layer, ``syn0``) and the center the **output**
+  (training layer, ``syn1neg``),
+- each pair draws ``k`` negatives from the unigram^0.75 table (collisions
+  with the positive target are redrawn once, then dropped by zero weight),
+- the SGD step for a pair with targets ``T`` (1 positive + k negatives),
+  labels ``y``, input embedding ``e``:
+
+      σ = sigmoid(e · t_j);  g_j = (σ_j − y_j)·α
+      e −= Σ_j g_j t_j;      t_j −= g_j e
+
+Updates are applied in batches with scatter-add (``np.subtract.at``):
+gradients in a batch are computed against the model at batch start, the
+vectorized equivalent of the intra-host Hogwild the paper uses (racy,
+slightly stale, empirically benign for sparse updates — §2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import expit
+
+from repro.text.negative_sampling import UnigramTable
+
+__all__ = [
+    "TrainingBatch",
+    "subsample_sentence",
+    "generate_pairs",
+    "sample_negatives",
+    "build_training_batch",
+    "sgns_update",
+    "apply_training_batch",
+]
+
+# Loss clamp: -log of a probability never reports more than this per term
+# (protects against log(0) for saturated sigmoids in float32).
+_MIN_PROB = 1e-10
+
+
+@dataclass
+class TrainingBatch:
+    """All training pairs of one worklist chunk, ready for the kernel."""
+
+    inputs: np.ndarray  # (B,) context word ids  -> embedding rows
+    outputs: np.ndarray  # (B,) center word ids   -> training rows (label 1)
+    negatives: np.ndarray  # (B, k) sampled ids     -> training rows (label 0)
+    #: Mask of negatives that collided with their positive target even after
+    #: one redraw; they contribute no gradient.
+    negative_mask: np.ndarray  # (B, k) bool — True = active
+
+    def __post_init__(self) -> None:
+        B = len(self.inputs)
+        if self.outputs.shape != (B,):
+            raise ValueError("outputs length mismatch")
+        if self.negatives.shape[0] != B or self.negatives.ndim != 2:
+            raise ValueError("negatives must be (B, k)")
+        if self.negative_mask.shape != self.negatives.shape:
+            raise ValueError("negative_mask shape mismatch")
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_negatives(self) -> int:
+        return self.negatives.shape[1]
+
+    def accessed_ids(self) -> np.ndarray:
+        """Sorted unique node ids this batch reads or writes."""
+        return np.unique(
+            np.concatenate([self.inputs, self.outputs, self.negatives.ravel()])
+        )
+
+    def slice(self, start: int, stop: int) -> "TrainingBatch":
+        return TrainingBatch(
+            inputs=self.inputs[start:stop],
+            outputs=self.outputs[start:stop],
+            negatives=self.negatives[start:stop],
+            negative_mask=self.negative_mask[start:stop],
+        )
+
+
+def subsample_sentence(
+    sentence: np.ndarray, keep_prob: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Drop frequent words with probability ``1 - keep_prob[word]``."""
+    if sentence.size == 0:
+        return sentence
+    keep = rng.random(len(sentence)) < keep_prob[sentence]
+    return sentence[keep]
+
+
+def generate_pairs(
+    sentence: np.ndarray, window: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dynamic-window skip-gram pairs: returns ``(inputs, outputs)``.
+
+    ``outputs[i]`` is the center word and ``inputs[i]`` a word within its
+    (per-center random) window — word2vec.c's convention where the context
+    word indexes the embedding layer.
+    """
+    L = len(sentence)
+    if L < 2:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    spans = rng.integers(1, window + 1, size=L)
+    in_parts: list[np.ndarray] = []
+    out_parts: list[np.ndarray] = []
+    for d in range(1, window + 1):
+        if d >= L:
+            break  # no position has a neighbor this far away
+        wide = spans >= d
+        # Left neighbor (i - d): centers i in [d, L) with span >= d.
+        left_centers = np.nonzero(wide[d:])[0] + d
+        if left_centers.size:
+            out_parts.append(sentence[left_centers])
+            in_parts.append(sentence[left_centers - d])
+        # Right neighbor (i + d): centers i in [0, L - d) with span >= d.
+        right_centers = np.nonzero(wide[: L - d])[0]
+        if right_centers.size:
+            out_parts.append(sentence[right_centers])
+            in_parts.append(sentence[right_centers + d])
+    if not out_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(in_parts), np.concatenate(out_parts)
+
+
+def sample_negatives(
+    table: UnigramTable,
+    outputs: np.ndarray,
+    num_negatives: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``(B, k)`` negatives; one redraw for positive collisions.
+
+    Returns ``(negatives, mask)`` where masked-out entries (still colliding
+    after redraw) must not contribute gradient.
+    """
+    B = len(outputs)
+    if num_negatives == 0:
+        neg = np.empty((B, 0), dtype=np.int64)
+        return neg, np.empty((B, 0), dtype=bool)
+    neg = table.draw(rng, (B, num_negatives))
+    collide = neg == outputs[:, None]
+    if collide.any():
+        redraw = table.draw(rng, int(collide.sum()))
+        neg[collide] = redraw
+        collide = neg == outputs[:, None]
+    return neg, ~collide
+
+
+def build_training_batch(
+    sentences: list[np.ndarray],
+    *,
+    window: int,
+    keep_prob: np.ndarray,
+    table: UnigramTable,
+    num_negatives: int,
+    rng: np.random.Generator,
+) -> TrainingBatch:
+    """Subsample + pair + negative-sample a chunk of sentences.
+
+    This is the "edge generation" of the graph formulation (paper §4.2):
+    positive edges from windows, negative edges from the noise distribution,
+    regenerated fresh every epoch from the worklist.
+    """
+    in_parts: list[np.ndarray] = []
+    out_parts: list[np.ndarray] = []
+    for sentence in sentences:
+        kept = subsample_sentence(sentence, keep_prob, rng)
+        ins, outs = generate_pairs(kept, window, rng)
+        if ins.size:
+            in_parts.append(ins)
+            out_parts.append(outs)
+    if in_parts:
+        inputs = np.concatenate(in_parts)
+        outputs = np.concatenate(out_parts)
+    else:
+        inputs = np.empty(0, dtype=np.int64)
+        outputs = np.empty(0, dtype=np.int64)
+    negatives, mask = sample_negatives(table, outputs, num_negatives, rng)
+    return TrainingBatch(
+        inputs=inputs, outputs=outputs, negatives=negatives, negative_mask=mask
+    )
+
+
+def sgns_update(
+    embedding: np.ndarray,
+    training: np.ndarray,
+    batch: TrainingBatch,
+    learning_rate: float,
+    compute_loss: bool = False,
+) -> float:
+    """One scatter-add SGD step over ``batch``; returns summed loss (or 0).
+
+    Gradients are evaluated against the arrays' state at entry; duplicate
+    rows within the batch accumulate (Hogwild-style batched application).
+    """
+    B = len(batch)
+    if B == 0:
+        return 0.0
+    lr = np.float32(learning_rate)
+    e = embedding[batch.inputs]  # (B, D)
+    targets = np.concatenate([batch.outputs[:, None], batch.negatives], axis=1)
+    t = training[targets]  # (B, K+1, D)
+    scores = np.einsum("bd,bkd->bk", e, t)
+    sig = expit(scores)
+    # labels: column 0 positive; masked-out negatives get zero gradient.
+    grad_scale = sig.copy()
+    grad_scale[:, 0] -= 1.0
+    if batch.num_negatives:
+        grad_scale[:, 1:] *= batch.negative_mask
+    g = grad_scale * lr  # (B, K+1)
+
+    grad_e = np.einsum("bk,bkd->bd", g, t)
+    grad_t = g[:, :, None] * e[:, None, :]
+    np.subtract.at(embedding, batch.inputs, grad_e.astype(embedding.dtype))
+    np.subtract.at(
+        training,
+        targets.ravel(),
+        grad_t.reshape(-1, training.shape[1]).astype(training.dtype),
+    )
+
+    if not compute_loss:
+        return 0.0
+    pos = np.maximum(sig[:, 0], _MIN_PROB)
+    loss = -np.log(pos).sum()
+    if batch.num_negatives:
+        neg = np.maximum(1.0 - sig[:, 1:], _MIN_PROB)
+        loss -= (np.log(neg) * batch.negative_mask).sum()
+    return float(loss)
+
+
+def apply_training_batch(
+    embedding: np.ndarray,
+    training: np.ndarray,
+    batch: TrainingBatch,
+    learning_rate: float,
+    batch_pairs: int,
+    compute_loss: bool = False,
+) -> tuple[float, int]:
+    """Apply ``batch`` in ``batch_pairs``-sized slices; (loss, pairs) totals."""
+    if batch_pairs < 1:
+        raise ValueError(f"batch_pairs must be >= 1, got {batch_pairs}")
+    total_loss = 0.0
+    B = len(batch)
+    for start in range(0, B, batch_pairs):
+        piece = batch.slice(start, min(start + batch_pairs, B))
+        total_loss += sgns_update(
+            embedding, training, piece, learning_rate, compute_loss=compute_loss
+        )
+    return total_loss, B

@@ -1,0 +1,141 @@
+"""Unified round-work construction for all four training configurations.
+
+Word2Vec = architecture x objective: {Skip-Gram, CBOW} x {negative
+sampling, hierarchical softmax}.  The paper evaluates SG+NS; §2.1 notes the
+approach carries to the other family members, so all four are supported.
+A :class:`RoundWork` packages one worklist chunk's generated examples with
+everything the trainers need — the apply kernel, and the embedding/output
+rows it touches (the access/update sets Gluon synchronizes on).
+
+The output layer differs by objective: negative sampling trains one vector
+per *word* (V rows); hierarchical softmax one per Huffman *inner node*
+(V-1 rows).  ``output_rows_for`` reports the right row count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.text.negative_sampling import UnigramTable
+from repro.w2v.cbow import CbowBatch, build_cbow_batch, cbow_hs_update, cbow_ns_update
+from repro.w2v.huffman import HuffmanTree
+from repro.w2v.params import Word2VecParams
+from repro.w2v.hs import hs_pairs_access, hs_update
+from repro.w2v.sgd import TrainingBatch, build_training_batch, sgns_update
+
+__all__ = ["RoundWork", "build_round_work", "output_rows_for"]
+
+
+def output_rows_for(params: Word2VecParams, vocab_size: int) -> int:
+    """Rows of the output-layer matrix for this configuration."""
+    if params.objective == "hierarchical":
+        return max(1, vocab_size - 1)
+    return vocab_size
+
+
+@dataclass
+class RoundWork:
+    """Generated training examples for one (host, round) work chunk."""
+
+    kind: str  # "sg-ns" | "sg-hs" | "cbow-ns" | "cbow-hs"
+    batch: TrainingBatch | CbowBatch
+    tree: HuffmanTree | None
+    embedding_access: np.ndarray  # sorted unique embedding rows touched
+    output_access: np.ndarray  # sorted unique output-layer rows touched
+
+    @property
+    def num_examples(self) -> int:
+        return len(self.batch)
+
+    def apply(
+        self,
+        embedding: np.ndarray,
+        output: np.ndarray,
+        learning_rate: float,
+        batch_pairs: int,
+        compute_loss: bool = False,
+    ) -> tuple[float, int]:
+        """Run the kernel in ``batch_pairs``-sized Hogwild slices."""
+        if batch_pairs < 1:
+            raise ValueError(f"batch_pairs must be >= 1, got {batch_pairs}")
+        total_loss = 0.0
+        n = len(self.batch)
+        for start in range(0, n, batch_pairs):
+            piece = self.batch.slice(start, min(start + batch_pairs, n))
+            if self.kind == "sg-ns":
+                total_loss += sgns_update(
+                    embedding, output, piece, learning_rate, compute_loss
+                )
+            elif self.kind == "sg-hs":
+                total_loss += hs_update(
+                    embedding, output, piece.inputs, piece.outputs,
+                    self.tree, learning_rate, compute_loss,
+                )
+            elif self.kind == "cbow-ns":
+                total_loss += cbow_ns_update(
+                    embedding, output, piece, learning_rate, compute_loss
+                )
+            elif self.kind == "cbow-hs":
+                total_loss += cbow_hs_update(
+                    embedding, output, piece, self.tree, learning_rate, compute_loss
+                )
+            else:  # pragma: no cover - constructor controls kinds
+                raise AssertionError(f"unknown work kind {self.kind}")
+        return total_loss, n
+
+
+def build_round_work(
+    sentences: list[np.ndarray],
+    *,
+    params: Word2VecParams,
+    keep_prob: np.ndarray,
+    table: UnigramTable | None,
+    tree: HuffmanTree | None,
+    rng: np.random.Generator,
+) -> RoundWork:
+    """Generate this chunk's examples for the configured architecture/objective."""
+    hierarchical = params.objective == "hierarchical"
+    if hierarchical and tree is None:
+        raise ValueError("hierarchical objective requires a Huffman tree")
+    if not hierarchical and table is None:
+        raise ValueError("negative-sampling objective requires a unigram table")
+
+    if params.architecture == "skipgram":
+        batch = build_training_batch(
+            sentences,
+            window=params.window,
+            keep_prob=keep_prob,
+            table=table if not hierarchical else None,
+            num_negatives=0 if hierarchical else params.negatives,
+            rng=rng,
+        )
+        emb_access = np.unique(batch.inputs)
+        if hierarchical:
+            kind = "sg-hs"
+            out_access = hs_pairs_access(batch.outputs, tree)
+        else:
+            kind = "sg-ns"
+            out_access = np.unique(
+                np.concatenate([batch.outputs, batch.negatives.ravel()])
+            )
+        return RoundWork(kind, batch, tree if hierarchical else None, emb_access, out_access)
+
+    # CBOW
+    batch = build_cbow_batch(
+        sentences,
+        window=params.window,
+        keep_prob=keep_prob,
+        table=table if not hierarchical else None,
+        num_negatives=0 if hierarchical else params.negatives,
+        rng=rng,
+    )
+    emb_access = batch.accessed_embedding_ids()
+    if hierarchical:
+        kind = "cbow-hs"
+        out_access = hs_pairs_access(batch.centers, tree)
+    else:
+        kind = "cbow-ns"
+        out_access = batch.accessed_output_ids_ns()
+    return RoundWork(kind, batch, tree if hierarchical else None, emb_access, out_access)

@@ -1,0 +1,190 @@
+import numpy as np
+import pytest
+
+from repro.baselines.minibatch import MinibatchAllreduceSGD
+from repro.baselines.param_server import AsyncParameterServerSGD
+from repro.baselines.sgns_reference import (
+    GensimStyleWord2Vec,
+    MemoryBudgetExceeded,
+    Word2VecCReference,
+)
+from repro.eval.analogy import evaluate_analogies
+from repro.text.synthetic import SyntheticCorpusSpec, generate_corpus
+from repro.w2v.params import Word2VecParams
+
+
+@pytest.fixture(scope="module")
+def data():
+    spec = SyntheticCorpusSpec(
+        num_tokens=8000, pairs_per_family=4, filler_vocab=150, questions_per_family=6
+    )
+    return generate_corpus(spec, seed=1)
+
+
+FAST = Word2VecParams(dim=16, epochs=2, negatives=4, window=3, subsample_threshold=1e-2)
+
+
+class TestW2VReference:
+    def test_trains_and_learns_something(self, data):
+        corpus, questions = data
+        model = Word2VecCReference(corpus, FAST.with_(epochs=8), seed=3).train()
+        acc = evaluate_analogies(model, corpus.vocabulary, questions)
+        assert np.isfinite(model.embedding).all()
+        assert acc.micro > 0.05  # clearly better than chance after 8 epochs
+
+    def test_deterministic(self, data):
+        corpus, _ = data
+        fast1 = Word2VecCReference(corpus, FAST, seed=3).train()
+        fast2 = Word2VecCReference(corpus, FAST, seed=3).train()
+        assert fast1 == fast2
+
+    def test_epoch_callback(self, data):
+        corpus, _ = data
+        seen = []
+        Word2VecCReference(corpus, FAST, seed=3).train(lambda e, m: seen.append(e))
+        assert seen == [0, 1]
+
+
+class TestGensimStyle:
+    def test_trains(self, data):
+        corpus, _ = data
+        model = GensimStyleWord2Vec(corpus, FAST, seed=3).train()
+        assert np.isfinite(model.embedding).all()
+
+    def test_memory_budget_exceeded(self, data):
+        corpus, _ = data
+        trainer = GensimStyleWord2Vec(
+            corpus, FAST, seed=3, memory_budget_bytes=1000
+        )
+        with pytest.raises(MemoryBudgetExceeded):
+            trainer.train()
+
+    def test_generous_budget_ok(self, data):
+        corpus, _ = data
+        trainer = GensimStyleWord2Vec(
+            corpus, FAST, seed=3, memory_budget_bytes=10**9
+        )
+        trainer.train()
+
+    def test_pair_bytes_estimate(self):
+        assert GensimStyleWord2Vec.pair_bytes(15) == 8 * 17 + 1
+
+    def test_invalid_job_pairs(self, data):
+        corpus, _ = data
+        with pytest.raises(ValueError):
+            GensimStyleWord2Vec(corpus, FAST, job_pairs=0)
+
+
+class TestMinibatchAllreduce:
+    def test_mean_trains(self, data):
+        corpus, _ = data
+        trainer = MinibatchAllreduceSGD(
+            corpus, FAST.with_(epochs=1), num_workers=3, reduction="mean", seed=3
+        )
+        before = trainer.model.embedding.copy()
+        trainer.train()
+        assert not np.allclose(trainer.model.embedding, before)
+
+    def test_sum_takes_bigger_steps_than_mean(self, data):
+        corpus, _ = data
+        params = FAST.with_(epochs=1)
+        mean_t = MinibatchAllreduceSGD(corpus, params, num_workers=4, reduction="mean", seed=3)
+        sum_t = MinibatchAllreduceSGD(corpus, params, num_workers=4, reduction="sum", seed=3)
+        init = mean_t.model.embedding.copy()
+        mean_t.train()
+        sum_t.train()
+        mean_step = np.abs(mean_t.model.embedding - init).sum()
+        sum_step = np.abs(sum_t.model.embedding - init).sum()
+        assert sum_step > mean_step
+
+    def test_allreduce_per_minibatch(self, data):
+        corpus, _ = data
+        trainer = MinibatchAllreduceSGD(
+            corpus,
+            FAST.with_(epochs=1),
+            num_workers=2,
+            sentences_per_worker_batch=4,
+            seed=3,
+        )
+        trainer.train()
+        expected_batches = -(-corpus.num_sentences // (2 * 4))  # ceil
+        assert trainer.allreduce_count == expected_batches
+        assert trainer.network.total_bytes > 0
+
+    def test_invalid_args(self, data):
+        corpus, _ = data
+        with pytest.raises(ValueError):
+            MinibatchAllreduceSGD(corpus, FAST, num_workers=0)
+        with pytest.raises(ValueError):
+            MinibatchAllreduceSGD(corpus, FAST, reduction="median")
+
+
+class TestAsyncParameterServer:
+    def test_trains(self, data):
+        corpus, _ = data
+        trainer = AsyncParameterServerSGD(
+            corpus, FAST.with_(epochs=1), num_workers=3, seed=3
+        )
+        before = trainer.model.embedding.copy()
+        trainer.train()
+        assert not np.allclose(trainer.model.embedding, before)
+
+    def test_staleness_zero_applies_immediately(self, data):
+        corpus, _ = data
+        fresh = AsyncParameterServerSGD(
+            corpus, FAST.with_(epochs=1), num_workers=2, staleness=0, seed=3
+        ).train()
+        stale = AsyncParameterServerSGD(
+            corpus, FAST.with_(epochs=1), num_workers=2, staleness=4, seed=3
+        ).train()
+        assert fresh != stale  # staleness changes the trajectory
+
+    def test_comm_charged(self, data):
+        corpus, _ = data
+        trainer = AsyncParameterServerSGD(corpus, FAST.with_(epochs=1), seed=3)
+        trainer.train()
+        assert trainer.network.stats.bytes_by_phase["pull"] > 0
+        assert trainer.network.stats.bytes_by_phase["push"] > 0
+
+    def test_invalid(self, data):
+        corpus, _ = data
+        with pytest.raises(ValueError):
+            AsyncParameterServerSGD(corpus, FAST, staleness=-1)
+        with pytest.raises(ValueError):
+            AsyncParameterServerSGD(corpus, FAST, delay_compensation=-0.1)
+
+    def test_delay_compensation_changes_stale_runs_only(self, data):
+        corpus, _ = data
+        params = FAST.with_(epochs=1)
+
+        def run(staleness, dc):
+            return AsyncParameterServerSGD(
+                corpus, params, num_workers=2, staleness=staleness,
+                delay_compensation=dc, seed=3,
+            ).train()
+
+        # With zero staleness there is no drift, so compensation is a no-op.
+        assert run(0, 0.0) == run(0, 0.5)
+        # With staleness, compensation alters the trajectory.
+        assert run(3, 0.0) != run(3, 0.5)
+
+    def test_delay_compensation_reduces_staleness_error(self, data):
+        """Compensated stale training should land closer to fresh training."""
+        corpus, _ = data
+        params = FAST.with_(epochs=2)
+
+        def final_embedding(staleness, dc):
+            model = AsyncParameterServerSGD(
+                corpus, params, num_workers=2, staleness=staleness,
+                delay_compensation=dc, seed=3,
+            ).train()
+            return model.embedding.astype(np.float64)
+
+        fresh = final_embedding(0, 0.0)
+        stale = final_embedding(4, 0.0)
+        compensated = final_embedding(4, 0.5)
+        err_stale = np.linalg.norm(stale - fresh)
+        err_comp = np.linalg.norm(compensated - fresh)
+        # Compensation should not make things dramatically worse; typically
+        # it helps.  Loose bound: within 25% of the uncompensated error.
+        assert err_comp <= err_stale * 1.25

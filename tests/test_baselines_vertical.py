@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.baselines.vertical import VerticalPartitionWord2Vec
+from repro.text.synthetic import SyntheticCorpusSpec, generate_corpus
+from repro.w2v.params import Word2VecParams
+from repro.w2v.shared_memory import SharedMemoryWord2Vec
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    spec = SyntheticCorpusSpec(
+        num_tokens=5000, pairs_per_family=4, filler_vocab=100, questions_per_family=4
+    )
+    return generate_corpus(spec, seed=1)[0]
+
+
+PARAMS = Word2VecParams(
+    dim=16, epochs=2, negatives=4, window=3, subsample_threshold=1e-2, batch_pairs=64
+)
+
+
+class TestConstruction:
+    def test_requires_sg_ns(self, corpus):
+        with pytest.raises(ValueError, match="skipgram"):
+            VerticalPartitionWord2Vec(corpus, PARAMS.with_(architecture="cbow"))
+        with pytest.raises(ValueError):
+            VerticalPartitionWord2Vec(corpus, PARAMS.with_(objective="hierarchical"))
+
+    def test_dim_must_cover_hosts(self, corpus):
+        with pytest.raises(ValueError, match="dim"):
+            VerticalPartitionWord2Vec(corpus, PARAMS.with_(dim=2), num_hosts=4)
+
+    def test_invalid_hosts(self, corpus):
+        with pytest.raises(ValueError):
+            VerticalPartitionWord2Vec(corpus, PARAMS, num_hosts=0)
+
+
+class TestExactness:
+    def test_matches_sequential_trainer(self, corpus):
+        """Vertical partitioning is an exact re-factoring: no staleness."""
+        sequential = SharedMemoryWord2Vec(corpus, PARAMS, seed=9).train()
+        vertical = VerticalPartitionWord2Vec(corpus, PARAMS, num_hosts=4, seed=9).train()
+        # Same seed tree -> same batches; partial-sum order differs, so
+        # allow float tolerance rather than bitwise equality.
+        np.testing.assert_allclose(
+            vertical.embedding, sequential.embedding, rtol=2e-3, atol=2e-5
+        )
+
+    def test_host_count_invariance(self, corpus):
+        two = VerticalPartitionWord2Vec(corpus, PARAMS, num_hosts=2, seed=9).train()
+        four = VerticalPartitionWord2Vec(corpus, PARAMS, num_hosts=4, seed=9).train()
+        np.testing.assert_allclose(two.embedding, four.embedding, rtol=2e-3, atol=2e-5)
+
+
+class TestNetworkProfile:
+    def test_score_volume_independent_of_dim(self, corpus):
+        small = VerticalPartitionWord2Vec(
+            corpus, PARAMS.with_(dim=8, epochs=1), num_hosts=4, seed=9
+        )
+        big = VerticalPartitionWord2Vec(
+            corpus, PARAMS.with_(dim=64, epochs=1), num_hosts=4, seed=9
+        )
+        small.train()
+        big.train()
+        assert (
+            small.network.stats.bytes_by_phase["allreduce-scores"]
+            == big.network.stats.bytes_by_phase["allreduce-scores"]
+        )
+
+    def test_communicates_every_batch(self, corpus):
+        trainer = VerticalPartitionWord2Vec(
+            corpus, PARAMS.with_(epochs=1), num_hosts=3, seed=9
+        )
+        trainer.train()
+        assert trainer.batches_processed > 0
+        phases = trainer.network.stats.messages_by_phase
+        # One allreduce (2 msgs/host) + index broadcast per batch.
+        assert phases["allreduce-scores"] == trainer.batches_processed * 2 * 3
+        assert phases["indices"] == trainer.batches_processed * 2
+
+    def test_per_host_memory_shrinks_with_hosts(self, corpus):
+        m2 = VerticalPartitionWord2Vec(corpus, PARAMS, num_hosts=2, seed=9)
+        m4 = VerticalPartitionWord2Vec(corpus, PARAMS, num_hosts=4, seed=9)
+        assert m4.per_host_memory_bytes() < m2.per_host_memory_bytes()
+        assert m2.per_host_memory_bytes() == pytest.approx(
+            m2.assembled_model().memory_bytes() / 2, rel=0.2
+        )

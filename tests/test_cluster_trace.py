@@ -1,0 +1,99 @@
+import json
+
+import numpy as np
+
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.network import NetworkModel
+from repro.cluster.trace import build_chrome_trace, trace_json
+from repro.gluon.comm import SimulatedNetwork
+
+
+def run_fake_round(metrics, net, compute=(0.1, 0.3)):
+    metrics.begin_round()
+    for host, seconds in enumerate(compute):
+        metrics.record_compute(host, seconds)
+    with net.phase("reduce:f"):
+        net.send(0, 1, 1000)
+    with net.phase("broadcast:f"):
+        net.send(1, 0, 1000)
+    net.drain(0)
+    net.drain(1)
+    metrics.end_round()
+
+
+class TestBuildChromeTrace:
+    def test_event_structure(self):
+        metrics = ClusterMetrics(2)
+        net = SimulatedNetwork(2)
+        run_fake_round(metrics, net)
+        events = build_chrome_trace(metrics, net.phase_records, NetworkModel())
+        kinds = {e.get("cat") for e in events if e["ph"] == "X"}
+        assert kinds == {"compute", "communication"}
+        # Two compute events (one per host) + two comm phases.
+        compute = [e for e in events if e.get("cat") == "compute"]
+        comm = [e for e in events if e.get("cat") == "communication"]
+        assert len(compute) == 2
+        assert len(comm) == 2
+        # Communication starts after the slowest host's compute (0.3s).
+        assert min(c["ts"] for c in comm) >= 0.3 * 1e6 - 1
+
+    def test_bsp_barrier_between_rounds(self):
+        metrics = ClusterMetrics(2)
+        net = SimulatedNetwork(2)
+        run_fake_round(metrics, net, compute=(0.1, 0.2))
+        run_fake_round(metrics, net, compute=(0.1, 0.2))
+        events = build_chrome_trace(metrics, net.phase_records, NetworkModel())
+        round1 = [e for e in events if e.get("name") == "compute r1"]
+        round0 = [e for e in events if e.get("name") == "compute r0"]
+        # Round 1 starts after all of round 0 (including comm).
+        end_of_round0 = max(e["ts"] + e["dur"] for e in round0)
+        assert all(e["ts"] >= end_of_round0 for e in round1)
+
+    def test_thread_labels(self):
+        metrics = ClusterMetrics(3)
+        net = SimulatedNetwork(3)
+        metrics.begin_round()
+        metrics.record_compute(0, 0.1)
+        metrics.end_round()
+        events = build_chrome_trace(metrics, net.phase_records, NetworkModel())
+        labels = {
+            e["args"]["name"] for e in events if e["ph"] == "M"
+        }
+        assert labels == {"host 0", "host 1", "host 2", "network"}
+
+    def test_comm_args_carry_bytes(self):
+        metrics = ClusterMetrics(2)
+        net = SimulatedNetwork(2)
+        run_fake_round(metrics, net)
+        events = build_chrome_trace(metrics, net.phase_records, NetworkModel())
+        comm = [e for e in events if e.get("cat") == "communication"]
+        assert all(e["args"]["bytes"] > 0 for e in comm)
+
+
+class TestTraceJson:
+    def test_valid_json(self):
+        metrics = ClusterMetrics(2)
+        net = SimulatedNetwork(2)
+        run_fake_round(metrics, net)
+        blob = trace_json(metrics, net.phase_records, NetworkModel())
+        parsed = json.loads(blob)
+        assert "traceEvents" in parsed
+        assert len(parsed["traceEvents"]) > 0
+
+    def test_trace_from_real_training(self):
+        from repro.experiments import datasets
+        from repro.w2v.distributed import GraphWord2Vec
+        from repro.w2v.params import Word2VecParams
+
+        corpus, _ = datasets.load("tiny-sim")
+        params = Word2VecParams(
+            dim=16, epochs=1, negatives=4, window=3, subsample_threshold=1e-2
+        )
+        trainer = GraphWord2Vec(corpus, params, num_hosts=3, seed=5)
+        trainer.train()
+        blob = trace_json(
+            trainer.metrics, trainer.network.phase_records, trainer.network_model
+        )
+        parsed = json.loads(blob)
+        cats = {e.get("cat") for e in parsed["traceEvents"] if e["ph"] == "X"}
+        assert "compute" in cats and "communication" in cats

@@ -1,0 +1,137 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.projection import (
+    combine_pair,
+    combine_sequence,
+    cosine,
+    orthogonal_component,
+    project_onto,
+)
+
+finite_vec = arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=8),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+def paired_vecs():
+    """Two random vectors of the same dimension."""
+    return st.integers(min_value=1, max_value=8).flatmap(
+        lambda n: st.tuples(
+            arrays(np.float64, n, elements=st.floats(-100, 100)),
+            arrays(np.float64, n, elements=st.floats(-100, 100)),
+        )
+    )
+
+
+class TestProjectOnto:
+    def test_axis_projection(self):
+        v = np.array([3.0, 4.0])
+        assert np.allclose(project_onto(v, np.array([1.0, 0.0])), [3.0, 0.0])
+
+    def test_onto_zero_is_zero(self):
+        assert np.allclose(project_onto(np.array([1.0, 2.0]), np.zeros(2)), 0.0)
+
+    def test_idempotent(self):
+        v = np.array([1.0, 2.0, 3.0])
+        g = np.array([2.0, -1.0, 0.5])
+        p = project_onto(v, g)
+        assert np.allclose(project_onto(p, g), p)
+
+
+class TestOrthogonalComponent:
+    def test_result_is_orthogonal(self):
+        g1 = np.array([1.0, 1.0])
+        g2 = np.array([2.0, 0.0])
+        g2p = orthogonal_component(g2, g1)
+        assert abs(g2p @ g1) < 1e-12
+
+    def test_norm_identity_eq4(self):
+        # ||g2'||^2 = ||g2||^2 (1 - cos^2 theta) — paper Eq. 4.
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            g1 = rng.normal(size=6)
+            g2 = rng.normal(size=6)
+            g2p = orthogonal_component(g2, g1)
+            c = cosine(g1, g2)
+            expected = (g2 @ g2) * (1 - c * c)
+            assert np.isclose(g2p @ g2p, expected, rtol=1e-9)
+
+    @given(paired_vecs())
+    def test_never_longer_than_input(self, pair):
+        g1, g2 = pair
+        g2p = orthogonal_component(g2, g1)
+        assert np.linalg.norm(g2p) <= np.linalg.norm(g2) * (1 + 1e-9) + 1e-12
+
+
+class TestCosine:
+    def test_parallel(self):
+        assert cosine(np.array([1.0, 0.0]), np.array([2.0, 0.0])) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine(np.array([1.0, 0.0]), np.array([0.0, 3.0])) == pytest.approx(0.0)
+
+    def test_zero_vector(self):
+        assert cosine(np.zeros(3), np.ones(3)) == 0.0
+
+    @given(paired_vecs())
+    def test_bounded(self, pair):
+        a, b = pair
+        assert -1.0 - 1e-9 <= cosine(a, b) <= 1.0 + 1e-9
+
+
+class TestCombinePair:
+    def test_orthogonal_gradients_add(self):
+        g1 = np.array([1.0, 0.0])
+        g2 = np.array([0.0, 2.0])
+        assert np.allclose(combine_pair(g1, g2), [1.0, 2.0])
+
+    def test_parallel_gradients_keep_first(self):
+        g1 = np.array([1.0, 1.0])
+        assert np.allclose(combine_pair(g1, 3 * g1), g1)
+
+    def test_zero_first_keeps_second(self):
+        g2 = np.array([1.0, 2.0])
+        assert np.allclose(combine_pair(np.zeros(2), g2), g2)
+
+    def test_zero_second_keeps_first(self):
+        g1 = np.array([1.0, 2.0])
+        assert np.allclose(combine_pair(g1, np.zeros(2)), g1)
+
+    @given(paired_vecs())
+    def test_projection_removed_is_orthogonal_to_first(self, pair):
+        g1, g2 = pair
+        combined = combine_pair(g1, g2)
+        # combined - g1 must be orthogonal to g1.
+        residual = combined - g1
+        assert abs(residual @ g1) <= 1e-6 * max(1.0, np.abs(g1).max() ** 2 * len(g1))
+
+
+class TestCombineSequence:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_sequence([])
+
+    def test_single(self):
+        g = np.array([1.0, -1.0])
+        assert np.allclose(combine_sequence([g]), g)
+
+    def test_pair_matches_combine_pair(self):
+        g1 = np.array([1.0, 2.0, 0.0])
+        g2 = np.array([0.5, 0.0, 3.0])
+        assert np.allclose(combine_sequence([g1, g2]), combine_pair(g1, g2))
+
+    def test_mutually_orthogonal_set_sums(self):
+        basis = np.eye(4) * np.array([1.0, 2.0, 3.0, 4.0])[:, None]
+        assert np.allclose(combine_sequence(list(basis)), basis.sum(axis=0))
+
+    def test_does_not_mutate_inputs(self):
+        g1 = np.array([1.0, 0.0])
+        g2 = np.array([1.0, 1.0])
+        g1_copy = g1.copy()
+        combine_sequence([g1, g2])
+        assert np.array_equal(g1, g1_copy)

@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.projection import combine_pair, orthogonal_component
+from repro.core.validity import direction_validity
+
+
+class TestDirectionValidity:
+    def test_gradient_is_valid_for_itself(self):
+        g = np.array([1.0, -2.0, 3.0])
+        report = direction_validity(g, g)
+        assert report.valid
+        assert report.first_order_decrease == pytest.approx(float(g @ g))
+
+    def test_negated_gradient_invalid(self):
+        g = np.array([1.0, 0.0])
+        assert not direction_validity(-g, g).decreases_loss
+
+    def test_oversized_direction_invalid(self):
+        g = np.array([1.0, 0.0])
+        report = direction_validity(3 * g, g)
+        assert report.decreases_loss
+        assert not report.step_bounded
+        assert not report.valid
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            direction_validity(np.zeros(2), np.zeros(3))
+
+    def test_zero_direction_valid(self):
+        # Zero step: no decrease but also no increase, and trivially bounded.
+        report = direction_validity(np.zeros(3), np.ones(3))
+        assert report.valid
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.integers(0, 2**16))
+def test_projected_component_is_valid_direction(dim, seed):
+    """Paper §3's central claim: g2' is valid w.r.t. L2 (Eqs. 3-4)."""
+    rng = np.random.default_rng(seed)
+    g1 = rng.normal(size=dim)
+    g2 = rng.normal(size=dim)
+    g2p = orthogonal_component(g2, g1)
+    report = direction_validity(g2p, g2)
+    assert report.valid
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.integers(0, 2**16))
+def test_combined_direction_properties(dim, seed):
+    rng = np.random.default_rng(seed)
+    g1 = rng.normal(size=dim)
+    g2 = rng.normal(size=dim)
+    combined = combine_pair(g1, g2)
+    # First-order decrease for L1: combined . g1 = g1 . g1 >= 0, because the
+    # added component g2' is orthogonal to g1.
+    assert direction_validity(combined, g1).decreases_loss
+    assert combined @ g1 == pytest.approx(float(g1 @ g1), rel=1e-6, abs=1e-8)
+    # Relative to applying g1 alone, the combination only *adds* first-order
+    # decrease for L2: combined . g2 - g1 . g2 = ||g2'||^2 >= 0 (Eq. 3).
+    g2p = orthogonal_component(g2, g1)
+    gain = combined @ g2 - g1 @ g2
+    assert gain == pytest.approx(float(g2p @ g2p), rel=1e-6, abs=1e-8)
+    assert gain >= -1e-8

@@ -1,0 +1,118 @@
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.dgraph.apps.bfs import bfs_levels
+from repro.dgraph.apps.kcore import kcore
+from repro.dgraph.apps.triangles import count_triangles
+from repro.dgraph.dist_graph import DistGraph
+
+
+def random_digraph(n=25, p=0.12, seed=7):
+    rng = np.random.default_rng(seed)
+    src, dst = [], []
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                src.append(u)
+                dst.append(v)
+    return np.array(src), np.array(dst), n
+
+
+def symmetrize(src, dst):
+    return np.concatenate([src, dst]), np.concatenate([dst, src])
+
+
+class TestBFS:
+    @pytest.mark.parametrize("hosts", [1, 3])
+    def test_matches_networkx(self, hosts):
+        src, dst, n = random_digraph()
+        dg = DistGraph.build(src, dst, n, hosts)
+        got = bfs_levels(dg, source=0)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(zip(src.tolist(), dst.tolist()))
+        expected = nx.single_source_shortest_path_length(g, 0)
+        for node in range(n):
+            if node in expected:
+                assert got[node] == expected[node]
+            else:
+                assert got[node] == np.inf
+
+    def test_source_zero_level(self):
+        dg = DistGraph.build(np.array([0]), np.array([1]), 3, 2)
+        got = bfs_levels(dg, source=1)
+        assert got[1] == 0.0
+        assert got[0] == np.inf
+
+    def test_invalid_source(self):
+        dg = DistGraph.build(np.array([0]), np.array([1]), 2, 1)
+        with pytest.raises(ValueError):
+            bfs_levels(dg, source=9)
+
+
+class TestKCore:
+    @pytest.mark.parametrize("hosts", [1, 3])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_networkx(self, hosts, k):
+        src, dst, n = random_digraph(seed=2)
+        s, d = symmetrize(src, dst)
+        dg = DistGraph.build(s, d, n, hosts)
+        got = kcore(dg, k)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(zip(src.tolist(), dst.tolist()))
+        g.remove_edges_from(nx.selfloop_edges(g))
+        core_numbers = nx.core_number(g)
+        for node in range(n):
+            assert got[node] == (core_numbers[node] >= k), f"node {node} k={k}"
+
+    def test_k_zero_keeps_everyone(self):
+        dg = DistGraph.build(np.array([0]), np.array([1]), 4, 2)
+        assert kcore(dg, 0).all()
+
+    def test_invalid_k(self):
+        dg = DistGraph.build(np.array([0]), np.array([1]), 2, 1)
+        with pytest.raises(ValueError):
+            kcore(dg, -1)
+
+    def test_triangle_is_2core(self):
+        src = np.array([0, 1, 2, 3])
+        dst = np.array([1, 2, 0, 0])  # triangle 0-1-2 plus pendant 3
+        s, d = symmetrize(src, dst)
+        dg = DistGraph.build(s, d, 4, 2)
+        got = kcore(dg, 2)
+        assert got.tolist() == [True, True, True, False]
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("hosts", [1, 2, 4])
+    def test_matches_networkx(self, hosts):
+        src, dst, n = random_digraph(seed=5, p=0.2)
+        s, d = symmetrize(src, dst)
+        dg = DistGraph.build(s, d, n, hosts)
+        got = count_triangles(dg)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(zip(src.tolist(), dst.tolist()))
+        expected = sum(nx.triangles(g).values()) // 3
+        assert got == expected
+
+    def test_single_triangle(self):
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 0])
+        s, d = symmetrize(src, dst)
+        dg = DistGraph.build(s, d, 3, 2)
+        assert count_triangles(dg) == 1
+
+    def test_no_edges(self):
+        dg = DistGraph.build(np.empty(0, np.int64), np.empty(0, np.int64), 5, 2)
+        assert count_triangles(dg) == 0
+
+    def test_host_count_invariance(self):
+        src, dst, n = random_digraph(seed=9, p=0.25)
+        s, d = symmetrize(src, dst)
+        counts = {
+            h: count_triangles(DistGraph.build(s, d, n, h)) for h in (1, 3)
+        }
+        assert counts[1] == counts[3]

@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+
+from repro.dgraph.dist_graph import DistGraph
+from repro.gluon.partitioner import replicate_all_partitions
+
+
+def small():
+    src = np.array([0, 1, 2, 5])
+    dst = np.array([1, 2, 3, 0])
+    return DistGraph.build(src, dst, 6, 3, policy="oec")
+
+
+class TestBuild:
+    def test_local_graphs_match_partitions(self):
+        dg = small()
+        for part, graph in zip(dg.partitions, dg.local_graphs):
+            assert graph.num_nodes == part.num_local
+            assert graph.num_edges == len(part.edges_local[0])
+
+    def test_edge_data_flows_through(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 0])
+        w = np.array([3.0, 4.0])
+        dg = DistGraph.build(src, dst, 2, 2, edge_data=w)
+        total = sum(
+            g.edge_data.sum() for g in dg.local_graphs if g.edge_data is not None
+        )
+        assert total == pytest.approx(7.0)
+
+    def test_empty_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            DistGraph([])
+
+    def test_repr(self):
+        assert "hosts=3" in repr(small())
+
+
+class TestLabels:
+    def test_new_label_1d(self):
+        dg = small()
+        labels = dg.new_label(np.inf)
+        assert len(labels) == 3
+        for part, arr in zip(dg.partitions, labels):
+            assert arr.shape == (part.num_local,)
+            assert np.all(np.isinf(arr))
+
+    def test_new_label_2d(self):
+        dg = small()
+        labels = dg.new_label(0.0, dtype=np.float32, width=4)
+        for part, arr in zip(dg.partitions, labels):
+            assert arr.shape == (part.num_local, 4)
+            assert arr.dtype == np.float32
+
+    def test_new_updated_bitvectors(self):
+        dg = small()
+        bvs = dg.new_updated_bitvectors()
+        assert all(bv.count() == 0 for bv in bvs)
+        assert [bv.size for bv in bvs] == [p.num_local for p in dg.partitions]
+
+
+class TestGatherMasters:
+    def test_collects_canonical_values(self):
+        dg = small()
+        labels = dg.new_label(0.0)
+        for part, arr in zip(dg.partitions, labels):
+            masters = part.masters_local()
+            arr[masters] = part.local_to_global[masters] * 10.0
+        out = dg.gather_masters(labels)
+        assert np.array_equal(out, np.arange(6) * 10.0)
+
+    def test_2d_labels(self):
+        dg = small()
+        labels = dg.new_label(1.0, width=2)
+        out = dg.gather_masters(labels)
+        assert out.shape == (6, 2)
+        assert np.all(out == 1.0)
+
+    def test_replication_factor(self):
+        parts = replicate_all_partitions(4, 2)
+        dg = DistGraph(parts)
+        assert dg.total_replication_factor() == pytest.approx(2.0)

@@ -1,0 +1,92 @@
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.dgraph.apps.mst import minimum_spanning_forest
+from repro.dgraph.dist_graph import DistGraph
+from repro.dgraph.generators import erdos_renyi, ring
+
+
+def build_undirected(src, dst, w, n, hosts):
+    sym_src = np.concatenate([src, dst])
+    sym_dst = np.concatenate([dst, src])
+    sym_w = np.concatenate([w, w])
+    return DistGraph.build(sym_src, sym_dst, n, hosts, edge_data=sym_w)
+
+
+def nx_msf_weight(src, dst, w, n):
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for u, v, weight in zip(src, dst, w):
+        if g.has_edge(int(u), int(v)):
+            g[int(u)][int(v)]["weight"] = min(g[int(u)][int(v)]["weight"], weight)
+        else:
+            g.add_edge(int(u), int(v), weight=weight)
+    forest = nx.minimum_spanning_edges(g, data=True)
+    return sum(d["weight"] for _u, _v, d in forest)
+
+
+class TestMinimumSpanningForest:
+    @pytest.mark.parametrize("hosts", [1, 2, 4])
+    def test_matches_networkx_weight(self, hosts):
+        rng = np.random.default_rng(3)
+        src, dst, n = erdos_renyi(40, 0.15, seed=3)
+        # Distinct weights avoid tie ambiguity vs networkx.
+        w = rng.permutation(len(src)).astype(float) + 1
+        dg = build_undirected(src, dst, w, n, hosts)
+        forest = minimum_spanning_forest(dg)
+        assert forest.total_weight == pytest.approx(nx_msf_weight(src, dst, w, n))
+
+    def test_host_count_invariance(self):
+        rng = np.random.default_rng(5)
+        src, dst, n = erdos_renyi(30, 0.2, seed=5)
+        w = rng.permutation(len(src)).astype(float) + 1
+        forests = [
+            minimum_spanning_forest(build_undirected(src, dst, w, n, h))
+            for h in (1, 3)
+        ]
+        assert forests[0].edges == forests[1].edges
+
+    def test_ring_drops_heaviest_edge(self):
+        src, dst, n = ring(6, symmetric=False)
+        w = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 10.0])
+        dg = build_undirected(src, dst, w, n, 2)
+        forest = minimum_spanning_forest(dg)
+        assert forest.total_weight == pytest.approx(15.0)  # all but the 10
+        assert forest.num_trees == 1
+        assert len(forest.edges) == 5
+
+    def test_disconnected_graph_gives_forest(self):
+        src = np.array([0, 2])
+        dst = np.array([1, 3])
+        w = np.array([1.0, 2.0])
+        dg = build_undirected(src, dst, w, 5, 2)
+        forest = minimum_spanning_forest(dg)
+        assert forest.num_trees == 3  # {0,1}, {2,3}, {4}
+        assert forest.total_weight == pytest.approx(3.0)
+
+    def test_unweighted_defaults_to_unit(self):
+        src, dst, n = ring(4, symmetric=False)
+        sym = DistGraph.build(
+            np.concatenate([src, dst]), np.concatenate([dst, src]), n, 2
+        )
+        forest = minimum_spanning_forest(sym)
+        assert forest.total_weight == pytest.approx(3.0)
+
+    def test_communication_charged_with_multiple_hosts(self):
+        from repro.gluon.comm import SimulatedNetwork
+
+        src, dst, n = erdos_renyi(25, 0.2, seed=1)
+        w = np.arange(len(src), dtype=float) + 1
+        net = SimulatedNetwork(3)
+        dg = build_undirected(src, dst, w, n, 3)
+        minimum_spanning_forest(dg, network=net)
+        assert net.stats.bytes_by_phase["mst-candidates"] > 0
+        assert net.stats.bytes_by_phase["mst-broadcast"] > 0
+
+    def test_edges_are_canonicalized(self):
+        src, dst, n = ring(4, symmetric=False)
+        dg = build_undirected(src, dst, np.ones(4), n, 1)
+        forest = minimum_spanning_forest(dg)
+        for u, v, _w in forest.edges:
+            assert u < v

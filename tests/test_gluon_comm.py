@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.gluon.comm import HEADER_BYTES, PhaseRecord, SimulatedNetwork
+
+
+class TestSend:
+    def test_delivery_order(self):
+        net = SimulatedNetwork(3)
+        net.send(0, 2, 10, payload="a")
+        net.send(1, 2, 20, payload="b")
+        assert net.drain(2) == [(0, "a"), (1, "b")]
+        assert net.drain(2) == []
+
+    def test_header_charged(self):
+        net = SimulatedNetwork(2)
+        net.send(0, 1, 100)
+        assert net.total_bytes == 100 + HEADER_BYTES
+
+    def test_loopback_rejected(self):
+        net = SimulatedNetwork(2)
+        with pytest.raises(ValueError, match="loopback"):
+            net.send(1, 1, 4)
+
+    def test_bad_hosts_rejected(self):
+        net = SimulatedNetwork(2)
+        with pytest.raises(ValueError):
+            net.send(0, 2, 4)
+        with pytest.raises(ValueError):
+            net.send(-1, 0, 4)
+
+    def test_negative_bytes_rejected(self):
+        net = SimulatedNetwork(2)
+        with pytest.raises(ValueError):
+            net.send(0, 1, -1)
+
+    def test_pending(self):
+        net = SimulatedNetwork(2)
+        net.send(0, 1, 0)
+        assert net.pending(1) == 1
+        net.drain(1)
+        assert net.pending(1) == 0
+
+
+class TestPhases:
+    def test_phase_records_per_host_traffic(self):
+        net = SimulatedNetwork(3)
+        with net.phase("reduce") as record:
+            net.send(0, 1, 84)  # 100 on the wire
+            net.send(2, 1, 184)  # 200 on the wire
+        assert record.sent.tolist() == [100, 0, 200]
+        assert record.recv.tolist() == [0, 300, 0]
+        assert record.max_host_bytes() == 300
+        assert record.messages == 2
+
+    def test_phase_bytes_aggregated(self):
+        net = SimulatedNetwork(2)
+        with net.phase("reduce"):
+            net.send(0, 1, 84)
+        with net.phase("broadcast"):
+            net.send(1, 0, 84)
+        assert net.stats.bytes_by_phase == {"reduce": 100, "broadcast": 100}
+        assert net.stats.messages_by_phase == {"reduce": 1, "broadcast": 1}
+
+    def test_phases_do_not_nest(self):
+        net = SimulatedNetwork(2)
+        with net.phase("a"):
+            with pytest.raises(RuntimeError, match="do not nest"):
+                net._begin_phase("b")
+
+    def test_default_phase_outside_blocks(self):
+        net = SimulatedNetwork(2)
+        net.send(0, 1, 0)
+        net.send(1, 0, 0)
+        assert net.stats.bytes_by_phase == {"default": 2 * HEADER_BYTES}
+        # One shared default record, not one per message.
+        assert len(net.phase_records) == 1
+
+    def test_records_for(self):
+        net = SimulatedNetwork(2)
+        with net.phase("x"):
+            net.send(0, 1, 0)
+        with net.phase("y"):
+            net.send(0, 1, 0)
+        assert len(list(net.records_for("x"))) == 1
+
+    def test_conservation_sent_equals_received(self):
+        net = SimulatedNetwork(4)
+        rng = np.random.default_rng(0)
+        with net.phase("p") as record:
+            for _ in range(50):
+                a, b = rng.choice(4, size=2, replace=False)
+                net.send(int(a), int(b), int(rng.integers(0, 1000)))
+        assert record.sent.sum() == record.recv.sum()
+        assert record.total_bytes == record.sent.sum()
+
+
+class TestPhaseRecord:
+    def test_empty_record(self):
+        r = PhaseRecord(name="x", num_hosts=3)
+        assert r.total_bytes == 0
+        assert r.max_host_bytes() == 0
+
+    def test_invalid_network(self):
+        with pytest.raises(ValueError):
+            SimulatedNetwork(0)

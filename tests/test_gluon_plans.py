@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.gluon.comm import ID_BYTES, VALUE_BYTES
+from repro.gluon.plans import PullModel, RepModelNaive, RepModelOpt, get_plan
+
+
+class TestGetPlan:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("naive", RepModelNaive),
+            ("opt", RepModelOpt),
+            ("pull", PullModel),
+            ("RepModel-Naive", RepModelNaive),
+            ("RepModel-Opt", RepModelOpt),
+            ("PullModel", PullModel),
+        ],
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(get_plan(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown communication plan"):
+            get_plan("magic")
+
+
+class TestNaive:
+    def test_reduce_is_dense(self):
+        plan = RepModelNaive()
+        dense = 100 * 8 * VALUE_BYTES
+        assert plan.reduce_wire_bytes(0, 8, 100) == dense
+        assert plan.reduce_wire_bytes(50, 8, 100) == dense
+
+    def test_broadcast_is_dense_but_ships_changed(self):
+        plan = RepModelNaive()
+        changed = np.array([1, 2, 3])
+        ids, nbytes = plan.broadcast_selection(changed, 100, None, 8)
+        assert np.array_equal(ids, changed)
+        assert nbytes == 100 * 8 * VALUE_BYTES
+
+    def test_no_inspection(self):
+        assert not RepModelNaive().requires_access_sets
+        assert RepModelNaive().request_wire_bytes(10) == 0
+
+
+class TestOpt:
+    def test_reduce_sparse_id_list(self):
+        plan = RepModelOpt()
+        assert plan.reduce_wire_bytes(0, 8, 100) == 0
+        # 5 of 100: id list (20B) beats the 16B... no — block bit vector is
+        # ceil(100/64)*8 = 16B, so the bit vector wins here.
+        assert plan.reduce_wire_bytes(5, 8, 100) == 1 + 16 + 5 * 8 * VALUE_BYTES
+
+    def test_reduce_adaptive_encoding(self):
+        plan = RepModelOpt()
+        # Tiny update in a big block: id list (2*4=8B) beats the bit vector
+        # (ceil(10000/64)*8 = 1256B).
+        assert plan.reduce_wire_bytes(2, 4, 10_000) == 1 + 8 + 2 * 4 * VALUE_BYTES
+        # Dense update: bit vector wins over 900 ids * 4B.
+        dense = plan.reduce_wire_bytes(900, 4, 1_000)
+        assert dense == 1 + ((1_000 + 63) // 64) * 8 + 900 * 4 * VALUE_BYTES
+
+    def test_broadcast_sparse(self):
+        plan = RepModelOpt()
+        changed = np.array([4, 9])
+        ids, nbytes = plan.broadcast_selection(changed, 10_000, None, 8)
+        assert np.array_equal(ids, changed)
+        assert nbytes == 1 + 2 * ID_BYTES + 2 * 8 * VALUE_BYTES
+
+    def test_broadcast_empty(self):
+        plan = RepModelOpt()
+        _ids, nbytes = plan.broadcast_selection(np.empty(0, np.int64), 100, None, 8)
+        assert nbytes == 0
+
+    def test_opt_never_exceeds_naive_when_sparse(self):
+        opt, naive = RepModelOpt(), RepModelNaive()
+        for updated in (0, 1, 50, 99):
+            assert opt.reduce_wire_bytes(updated, 16, 100) <= naive.reduce_wire_bytes(
+                updated, 16, 100
+            ) + ((100 + 63) // 64) * 8 + 1
+
+
+class TestPull:
+    def test_requires_access_sets(self):
+        plan = PullModel()
+        assert plan.requires_access_sets
+        with pytest.raises(ValueError, match="access set"):
+            plan.broadcast_selection(np.array([1]), 10, None, 4)
+
+    def test_broadcast_ships_accessed_regardless_of_changed(self):
+        plan = PullModel()
+        accessed = np.array([7, 8])
+        ids, nbytes = plan.broadcast_selection(np.empty(0, np.int64), 10, accessed, 4)
+        assert np.array_equal(ids, accessed)
+        # Ids ride the request message; broadcast carries values only.
+        assert nbytes == 2 * 4 * VALUE_BYTES
+
+    def test_request_bytes(self):
+        plan = PullModel()
+        assert plan.request_wire_bytes(0) == 0
+        assert plan.request_wire_bytes(3) == 3 * ID_BYTES
+
+    def test_empty_access(self):
+        plan = PullModel()
+        ids, nbytes = plan.broadcast_selection(
+            np.array([1]), 10, np.empty(0, np.int64), 4
+        )
+        assert nbytes == 0 and len(ids) == 0

@@ -1,0 +1,94 @@
+"""Additional property-based checks on the training kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.combiners import get_combiner
+from repro.w2v.sgd import TrainingBatch, sgns_update
+
+
+def random_batch(rng, V, B, K):
+    return TrainingBatch(
+        inputs=rng.integers(0, V, B),
+        outputs=rng.integers(0, V, B),
+        negatives=rng.integers(0, V, (B, K)),
+        negative_mask=np.ones((B, K), dtype=bool),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**16))
+def test_zero_learning_rate_is_noop(seed):
+    rng = np.random.default_rng(seed)
+    emb = rng.normal(size=(6, 4)).astype(np.float32)
+    trn = rng.normal(size=(6, 4)).astype(np.float32)
+    emb0, trn0 = emb.copy(), trn.copy()
+    batch = random_batch(rng, 6, 5, 2)
+    sgns_update(emb, trn, batch, learning_rate=0.0)
+    assert np.array_equal(emb, emb0)
+    assert np.array_equal(trn, trn0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**16))
+def test_update_touches_only_batch_rows(seed):
+    rng = np.random.default_rng(seed)
+    V = 12
+    emb = rng.normal(size=(V, 4)).astype(np.float32)
+    trn = rng.normal(size=(V, 4)).astype(np.float32)
+    emb0, trn0 = emb.copy(), trn.copy()
+    batch = random_batch(rng, 6, 4, 2)  # rows 0..5 only
+    sgns_update(emb, trn, batch, learning_rate=0.1)
+    # Rows 6..11 were not in the batch: untouched in both layers.
+    assert np.array_equal(emb[6:], emb0[6:])
+    assert np.array_equal(trn[6:], trn0[6:])
+    untouched_emb = np.setdiff1d(np.arange(6), batch.inputs)
+    assert np.array_equal(emb[untouched_emb], emb0[untouched_emb])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 5), st.integers(1, 4), st.integers(0, 2**16))
+def test_avg_combiner_bounded_by_extremes(hosts, dim, seed):
+    """Averaged update lies inside the componentwise min/max envelope."""
+    rng = np.random.default_rng(seed)
+    grads = [rng.normal(size=(1, dim)) for _ in range(hosts)]
+    state = get_combiner("avg").create(1, dim)
+    rows = np.array([0])
+    for g in grads:
+        state.accumulate(rows, g)
+    out = state.result()[0]
+    stack = np.concatenate(grads, axis=0)
+    assert np.all(out >= stack.min(axis=0) - 1e-12)
+    assert np.all(out <= stack.max(axis=0) + 1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 5), st.integers(1, 4), st.integers(0, 2**16))
+def test_sum_combiner_is_exact_sum(hosts, dim, seed):
+    rng = np.random.default_rng(seed)
+    grads = [rng.normal(size=(1, dim)) for _ in range(hosts)]
+    state = get_combiner("sum").create(1, dim)
+    rows = np.array([0])
+    for g in grads:
+        state.accumulate(rows, g)
+    assert np.allclose(state.result()[0], np.sum(grads, axis=0)[0])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 2**16))
+def test_mc_order_matters_but_span_is_preserved(hosts, seed):
+    """The inductive fold is order-dependent, but every order's result lies
+    in the span of the inputs (it is a linear combination of them)."""
+    rng = np.random.default_rng(seed)
+    dim = hosts + 2
+    grads = [rng.normal(size=dim) for _ in range(hosts)]
+    combiner = get_combiner("mc")
+    forward = combiner.combine_dense([g[None, :] for g in grads])
+    backward = combiner.combine_dense([g[None, :] for g in reversed(grads)])
+    basis = np.stack(grads)
+    for combined in (forward[0], backward[0]):
+        # Residual after projecting onto the span of the gradients ~ 0.
+        coeffs, *_ = np.linalg.lstsq(basis.T, combined, rcond=None)
+        residual = combined - basis.T @ coeffs
+        assert np.linalg.norm(residual) < 1e-8 * max(1.0, np.linalg.norm(combined))

@@ -1,0 +1,63 @@
+"""The documented public surface imports and resolves."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.galois",
+    "repro.gluon",
+    "repro.dgraph",
+    "repro.dgraph.apps",
+    "repro.text",
+    "repro.w2v",
+    "repro.baselines",
+    "repro.embeddings",
+    "repro.eval",
+    "repro.cluster",
+    "repro.experiments",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_resolves(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_quickstart_docstring_names_exist():
+    """The names used in the package docstring's example are exported."""
+    import repro
+
+    for name in (
+        "SyntheticCorpusSpec",
+        "generate_corpus",
+        "Word2VecParams",
+        "GraphWord2Vec",
+        "evaluate_analogies",
+    ):
+        assert hasattr(repro, name)
+
+
+def test_every_module_has_docstring():
+    import pkgutil
+
+    import repro
+
+    missing = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        if not (module.__doc__ or "").strip():
+            missing.append(info.name)
+    assert not missing, f"modules without docstrings: {missing}"

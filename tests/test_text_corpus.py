@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.text.corpus import Corpus
+from repro.text.vocab import Vocabulary
+
+
+def tiny_corpus():
+    return Corpus.from_token_sentences(
+        [["a", "b", "c"], ["b", "c"], ["c"], ["a", "a", "b", "c"]]
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        corpus = tiny_corpus()
+        assert corpus.num_sentences == 4
+        assert corpus.num_tokens == 10
+
+    def test_from_text_roundtrip(self):
+        corpus = Corpus.from_text("a b c\nb c\n")
+        assert corpus.num_sentences == 2
+        assert corpus.to_text() == "a b c\nb c\n"
+
+    def test_min_count_drops_words_not_sentences(self):
+        corpus = Corpus.from_token_sentences([["a", "rare"], ["a"]], min_count=2)
+        assert corpus.num_tokens == 2
+        assert len(corpus.vocabulary) == 1
+
+    def test_out_of_vocab_ids_rejected(self):
+        vocab = Vocabulary({"a": 1})
+        with pytest.raises(ValueError):
+            Corpus(vocab, [np.array([0, 5])])
+
+    def test_empty_sentences_dropped_on_encode(self):
+        corpus = Corpus.from_token_sentences([["a"], []])
+        assert corpus.num_sentences == 1
+
+
+class TestSplitLongSentences:
+    def test_split(self):
+        vocab = Vocabulary({"a": 10})
+        corpus = Corpus(vocab, [np.zeros(7, dtype=np.int64)])
+        split = corpus.split_long_sentences(3)
+        assert [len(s) for s in split.sentences] == [3, 3, 1]
+        assert split.num_tokens == 7
+
+    def test_noop_when_short(self):
+        corpus = tiny_corpus()
+        assert corpus.split_long_sentences(100).num_sentences == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            tiny_corpus().split_long_sentences(0)
+
+
+class TestShard:
+    def test_preserves_order_and_content(self):
+        corpus = tiny_corpus()
+        shards = corpus.shard(2)
+        flattened = [s.tolist() for shard in shards for s in shard]
+        assert flattened == [s.tolist() for s in corpus.sentences]
+
+    def test_balanced_by_tokens(self):
+        vocab = Vocabulary({"a": 100})
+        sentences = [np.zeros(5, dtype=np.int64) for _ in range(20)]
+        corpus = Corpus(vocab, sentences)
+        shards = corpus.shard(4)
+        token_counts = [sum(len(s) for s in shard) for shard in shards]
+        assert token_counts == [25, 25, 25, 25]
+
+    def test_more_hosts_than_sentences(self):
+        corpus = tiny_corpus()
+        shards = corpus.shard(10)
+        assert len(shards) == 10
+        assert sum(len(s) for s in shards) == corpus.num_sentences
+
+    def test_single_host(self):
+        corpus = tiny_corpus()
+        assert len(corpus.shard(1)[0]) == corpus.num_sentences
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            tiny_corpus().shard(0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_shards_partition_sentences(self, lengths, hosts):
+        vocab = Vocabulary({"a": 1})
+        corpus = Corpus(vocab, [np.zeros(n, dtype=np.int64) for n in lengths])
+        shards = corpus.shard(hosts)
+        assert sum(len(s) for s in shards) == len(lengths)
+        total = sum(len(x) for shard in shards for x in shard)
+        assert total == sum(lengths)
+        # Balance: no shard exceeds ~target + one max sentence.
+        target = sum(lengths) / hosts
+        for shard in shards:
+            tokens = sum(len(x) for x in shard)
+            assert tokens <= target + max(lengths)

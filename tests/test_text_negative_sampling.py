@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.text.negative_sampling import UnigramTable, build_alias_table
+
+
+class TestAliasTable:
+    def test_uniform(self):
+        prob, alias = build_alias_table(np.ones(4))
+        assert np.allclose(prob, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_alias_table(np.array([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            build_alias_table(np.array([0.5, -0.1]))
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(ValueError):
+            build_alias_table(np.zeros(3))
+
+    def test_exactness(self):
+        # Alias tables are exact: reconstruct each outcome's probability.
+        p = np.array([0.5, 0.3, 0.2])
+        prob, alias = build_alias_table(p)
+        n = len(p)
+        recon = np.zeros(n)
+        for i in range(n):
+            recon[i] += prob[i] / n
+            recon[alias[i]] += (1.0 - prob[i]) / n
+        assert np.allclose(recon, p)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=10), min_size=1, max_size=20))
+    def test_exactness_property(self, weights):
+        p = np.array(weights)
+        p = p / p.sum()
+        prob, alias = build_alias_table(p)
+        n = len(p)
+        recon = np.zeros(n)
+        for i in range(n):
+            recon[i] += prob[i] / n
+            recon[alias[i]] += (1.0 - prob[i]) / n
+        assert np.allclose(recon, p, atol=1e-12)
+
+
+class TestUnigramTable:
+    def test_power_weighting(self):
+        counts = np.array([16.0, 1.0])
+        table = UnigramTable(counts, power=0.75)
+        # 16^0.75 = 8, so probabilities 8/9 and 1/9.
+        assert table.probabilities[0] == pytest.approx(8 / 9)
+
+    def test_zero_count_words_never_drawn(self):
+        counts = np.array([0.0, 5.0, 0.0])
+        table = UnigramTable(counts)
+        draws = table.draw(np.random.default_rng(0), 500)
+        assert set(draws.tolist()) == {1}
+
+    def test_empirical_distribution(self):
+        counts = np.array([100.0, 10.0, 1.0])
+        table = UnigramTable(counts, power=1.0)
+        draws = table.draw(np.random.default_rng(0), 60_000)
+        freq = np.bincount(draws, minlength=3) / len(draws)
+        assert np.allclose(freq, counts / counts.sum(), atol=0.01)
+
+    def test_draw_shapes(self):
+        table = UnigramTable(np.array([1.0, 2.0]))
+        assert table.draw(np.random.default_rng(0), 5).shape == (5,)
+        assert table.draw(np.random.default_rng(0), (3, 4)).shape == (3, 4)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            UnigramTable(np.zeros(3))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            UnigramTable(np.array([-1.0, 2.0]))
+
+    def test_len(self):
+        assert len(UnigramTable(np.array([1.0, 1.0, 1.0]))) == 3

@@ -1,0 +1,69 @@
+import pytest
+
+from repro.text.phrases import PhraseModel, apply_phrases, learn_phrases
+
+
+def corpus_with_collocation(n=50):
+    # "new york" always together; "red" and "car" appear often but apart.
+    sentences = []
+    for i in range(n):
+        sentences.append(["i", "visited", "new", "york", "today"])
+        sentences.append(["the", "red", "bike", "and", "a", "car"])
+    return sentences
+
+
+class TestLearnPhrases:
+    def test_detects_collocation(self):
+        model = learn_phrases(corpus_with_collocation(), threshold=1e-3)
+        assert ("new", "york") in model
+        assert ("red", "bike") in model  # also always adjacent
+        assert ("red", "car") not in model  # never adjacent
+
+    def test_min_count_filters_rare(self):
+        sentences = [["a", "b"]] + [["c", "d"]] * 10
+        model = learn_phrases(sentences, min_count=5, threshold=1e-6, delta=0)
+        assert ("c", "d") in model
+        assert ("a", "b") not in model
+
+    def test_delta_discounts_rare(self):
+        sentences = [["x", "y"]] * 3 + [["p", "q"]] * 100
+        strict = learn_phrases(sentences, delta=50.0, threshold=1e-6, min_count=1)
+        assert ("p", "q") in strict
+        assert ("x", "y") not in strict  # count 3 < delta 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            learn_phrases([["a"]], delta=-1)
+        with pytest.raises(ValueError):
+            learn_phrases([["a"]], threshold=0)
+        with pytest.raises(ValueError):
+            learn_phrases([["a"]], min_count=0)
+        with pytest.raises(ValueError, match="empty"):
+            learn_phrases([])
+
+
+class TestApplyPhrases:
+    def test_merges_greedily(self):
+        model = PhraseModel({"new york": 1.0}, delta=0, threshold=0.1)
+        out = apply_phrases([["in", "new", "york", "city"]], model)
+        assert out == [["in", "new_york", "city"]]
+
+    def test_one_merge_per_token(self):
+        # "a b" and "b c" both accepted; greedy left-to-right merges "a b"
+        # and leaves "c" alone.
+        model = PhraseModel({"a b": 1.0, "b c": 1.0}, delta=0, threshold=0.1)
+        out = apply_phrases([["a", "b", "c"]], model)
+        assert out == [["a_b", "c"]]
+
+    def test_multiple_passes_build_longer_phrases(self):
+        sentences = [["new", "york", "times"]] * 30
+        first = learn_phrases(sentences, threshold=1e-4, delta=1)
+        merged = apply_phrases(sentences, first)
+        second = learn_phrases(merged, threshold=1e-4, delta=1)
+        final = apply_phrases(merged, second)
+        assert final[0] == ["new_york_times"]
+
+    def test_empty_model_noop(self):
+        model = PhraseModel({}, delta=5, threshold=1e-4)
+        sentences = [["a", "b", "c"]]
+        assert apply_phrases(sentences, model) == sentences

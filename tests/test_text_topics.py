@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.text.topics import TopicCorpusSpec, generate_topic_corpus, topic_coherence
+from repro.w2v.params import Word2VecParams
+from repro.w2v.shared_memory import SharedMemoryWord2Vec
+
+
+class TestSpec:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_topics", 1),
+            ("words_per_topic", 1),
+            ("num_documents", 0),
+            ("document_length", 1),
+            ("concentration", 0.0),
+            ("filler_rate", 1.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            TopicCorpusSpec(**{field: value})
+
+
+class TestGenerate:
+    def test_shapes(self):
+        spec = TopicCorpusSpec(num_documents=50, document_length=20)
+        corpus, labels = generate_topic_corpus(spec, seed=1)
+        assert corpus.num_sentences == 50
+        assert corpus.num_tokens == 50 * 20
+        topic_words = [w for w, t in labels.items() if t >= 0]
+        assert len(topic_words) == spec.num_topics * spec.words_per_topic
+
+    def test_deterministic(self):
+        a, _ = generate_topic_corpus(seed=2)
+        b, _ = generate_topic_corpus(seed=2)
+        assert a.to_text() == b.to_text()
+
+    def test_low_concentration_gives_peaked_documents(self):
+        spec = TopicCorpusSpec(
+            num_documents=100, concentration=0.02, filler_rate=0.0
+        )
+        corpus, labels = generate_topic_corpus(spec, seed=3)
+        # Most documents should be dominated by a single topic.
+        dominated = 0
+        for sentence in corpus.sentences:
+            words = corpus.vocabulary.decode(sentence)
+            topics = [labels[w] for w in words if labels[w] >= 0]
+            if topics:
+                counts = np.bincount(topics, minlength=spec.num_topics)
+                if counts.max() / len(topics) > 0.8:
+                    dominated += 1
+        assert dominated > 50
+
+    def test_filler_rate_zero_means_no_fillers_in_text(self):
+        spec = TopicCorpusSpec(filler_rate=0.0, num_documents=20)
+        corpus, labels = generate_topic_corpus(spec, seed=1)
+        for word in corpus.vocabulary:
+            assert labels[word] >= 0 or word.startswith("f")
+        used = {w for s in corpus.sentences for w in corpus.vocabulary.decode(s)}
+        assert all(labels[w] >= 0 for w in used)
+
+
+class TestCoherence:
+    def test_planted_embedding_scores_high(self):
+        spec = TopicCorpusSpec(num_topics=3, words_per_topic=4, shared_vocab=0)
+        corpus, labels = generate_topic_corpus(spec, seed=1)
+        V = len(corpus.vocabulary)
+        emb = np.zeros((V, 3), dtype=np.float32)
+        for word, topic in labels.items():
+            if topic >= 0 and word in corpus.vocabulary:
+                emb[corpus.vocabulary.id_of(word), topic] = 1.0
+        assert topic_coherence(emb, corpus.vocabulary, labels) > 0.9
+
+    def test_random_embedding_near_zero(self):
+        spec = TopicCorpusSpec(num_topics=4, words_per_topic=20, shared_vocab=0)
+        corpus, labels = generate_topic_corpus(spec, seed=1)
+        rng = np.random.default_rng(0)
+        emb = rng.normal(size=(len(corpus.vocabulary), 16))
+        assert abs(topic_coherence(emb, corpus.vocabulary, labels)) < 0.15
+
+    def test_trained_embedding_recovers_topics(self):
+        spec = TopicCorpusSpec(
+            num_topics=4, words_per_topic=15, shared_vocab=50,
+            num_documents=600, document_length=25, concentration=0.05,
+        )
+        corpus, labels = generate_topic_corpus(spec, seed=1)
+        params = Word2VecParams(
+            dim=24, window=5, negatives=5, epochs=4, subsample_threshold=1e-2
+        )
+        model = SharedMemoryWord2Vec(corpus, params, seed=7).train()
+        coherence = topic_coherence(
+            model.normalized_embedding(), corpus.vocabulary, labels
+        )
+        assert coherence > 0.15, f"topics not recovered: {coherence}"
+
+    def test_too_few_words_rejected(self):
+        corpus, labels = generate_topic_corpus(
+            TopicCorpusSpec(num_documents=5), seed=1
+        )
+        with pytest.raises(ValueError):
+            topic_coherence(
+                np.zeros((len(corpus.vocabulary), 4)),
+                corpus.vocabulary,
+                {"t0w0": 0},
+            )

@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import SeedSequenceTree, default_rng, hash64, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_deterministic_for_same_seed(self):
+        assert default_rng(5).integers(1 << 30) == default_rng(5).integers(1 << 30)
+
+    def test_different_seeds_differ(self):
+        a = default_rng(1).random(8)
+        b = default_rng(2).random(8)
+        assert not np.allclose(a, b)
+
+    def test_none_uses_library_default(self):
+        assert default_rng().integers(1 << 30) == default_rng(None).integers(1 << 30)
+
+
+class TestSpawnRngs:
+    def test_streams_are_stable_prefixes(self):
+        few = spawn_rngs(9, 2)
+        many = spawn_rngs(9, 5)
+        for a, b in zip(few, many):
+            assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_streams_are_distinct(self):
+        rngs = spawn_rngs(3, 4)
+        draws = [r.random(16).tobytes() for r in rngs]
+        assert len(set(draws)) == 4
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count_ok(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestSeedSequenceTree:
+    def test_child_reproducible(self):
+        tree = SeedSequenceTree(42)
+        a = tree.child("pairs", 3).random(4)
+        b = SeedSequenceTree(42).child("pairs", 3).random(4)
+        assert np.array_equal(a, b)
+
+    def test_children_distinct_by_name_and_index(self):
+        tree = SeedSequenceTree(42)
+        draws = {
+            tree.child("a", 0).integers(1 << 40),
+            tree.child("a", 1).integers(1 << 40),
+            tree.child("b", 0).integers(1 << 40),
+        }
+        assert len(draws) == 3
+
+    def test_subtrees_do_not_collide(self):
+        tree = SeedSequenceTree(7)
+        x = tree.subtree("epoch", 0).child("shuffle", 1).integers(1 << 40)
+        y = tree.subtree("epoch", 1).child("shuffle", 1).integers(1 << 40)
+        z = tree.child("shuffle", 1).integers(1 << 40)
+        assert len({x, y, z}) == 3
+
+    def test_children_list(self):
+        tree = SeedSequenceTree(7)
+        rngs = tree.children("hosts", 3)
+        assert len(rngs) == 3
+        assert rngs[1].integers(1 << 40) == tree.child("hosts", 1).integers(1 << 40)
+
+
+class TestHash64:
+    def test_known_fnv_vector(self):
+        # FNV-1a 64-bit of empty string is the offset basis.
+        assert hash64("") == 0xCBF29CE484222325
+
+    def test_stability(self):
+        assert hash64("fox") == hash64("fox")
+
+    def test_distinct_words(self):
+        assert hash64("fox") != hash64("dog")
+
+    @given(st.text(max_size=30))
+    def test_range(self, text):
+        assert 0 <= hash64(text) < 2**64
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    def test_deterministic_property(self, a, b):
+        if a == b:
+            assert hash64(a) == hash64(b)

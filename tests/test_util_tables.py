@@ -1,0 +1,59 @@
+import pytest
+
+from repro.util.tables import format_bytes, format_number, format_table
+
+
+class TestFormatNumber:
+    def test_int_passthrough(self):
+        assert format_number(42) == "42"
+
+    def test_float_precision(self):
+        assert format_number(3.14159, precision=2) == "3.14"
+
+    def test_large_float_scientific(self):
+        assert "e" in format_number(1.5e7)
+
+    def test_tiny_float_scientific(self):
+        assert "e" in format_number(1.5e-5)
+
+    def test_nan(self):
+        assert format_number(float("nan")) == "nan"
+
+    def test_bool_not_treated_as_int(self):
+        assert format_number(True) == "True"
+
+    def test_thousands_separator(self):
+        assert format_number(12345.0) == "12,345.00"
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512B"
+
+    def test_terabytes(self):
+        assert format_bytes(27.6e12) == "27.60TB"
+
+    def test_gigabytes(self):
+        assert format_bytes(3.7e9) == "3.70GB"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert lines[0].endswith("value")
+        # All lines equal width (right-justified columns).
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out

@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.text.synthetic import SyntheticCorpusSpec, generate_corpus
+from repro.w2v.distributed import GraphWord2Vec
+from repro.w2v.params import Word2VecParams
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    spec = SyntheticCorpusSpec(
+        num_tokens=6000, pairs_per_family=4, filler_vocab=100, questions_per_family=4
+    )
+    return generate_corpus(spec, seed=1)[0]
+
+
+PARAMS = Word2VecParams(dim=16, epochs=4, negatives=4, window=3, subsample_threshold=1e-2)
+
+
+def make(corpus, **kw):
+    defaults = dict(num_hosts=3, seed=5)
+    defaults.update(kw)
+    return GraphWord2Vec(corpus, PARAMS, **defaults)
+
+
+class TestUntilEpoch:
+    def test_pause_and_continue_same_trainer(self, corpus):
+        straight = make(corpus).train().model
+        paused = make(corpus)
+        paused.train(until_epoch=2)
+        assert paused._completed_epochs == 2
+        final = paused.train().model
+        assert final == straight
+
+    def test_until_epoch_beyond_budget_clamped(self, corpus):
+        trainer = make(corpus)
+        trainer.train(until_epoch=100)
+        assert trainer._completed_epochs == PARAMS.epochs
+
+
+class TestCheckpoint:
+    @pytest.mark.parametrize("plan", ["opt", "naive", "pull"])
+    def test_resume_reproduces_uninterrupted_run(self, corpus, plan):
+        straight = make(corpus, plan=plan).train().model
+
+        first = make(corpus, plan=plan)
+        first.train(until_epoch=2)
+        blob = first.save_checkpoint()
+
+        resumed = make(corpus, plan=plan)
+        assert resumed.load_checkpoint(blob) == 2
+        final = resumed.train().model
+        assert final == straight
+
+    def test_save_load_roundtrip(self, corpus):
+        trainer = make(corpus)
+        trainer.train()
+        blob = trainer.save_checkpoint()
+        fresh = make(corpus)
+        next_epoch = fresh.load_checkpoint(blob)
+        assert next_epoch == PARAMS.epochs
+        assert fresh.canonical_model() == trainer.canonical_model()
+        # Fully trained checkpoint: train() is a no-op.
+        model_before = fresh.canonical_model()
+        fresh.train()
+        assert fresh.canonical_model() == model_before
+
+    def test_mismatched_config_rejected(self, corpus):
+        trainer = make(corpus)
+        trainer.train(until_epoch=1)
+        blob = trainer.save_checkpoint()
+        other = make(corpus, seed=6)
+        with pytest.raises(ValueError, match="different training configuration"):
+            other.load_checkpoint(blob)
+        other_plan = make(corpus, plan="naive")
+        with pytest.raises(ValueError):
+            other_plan.load_checkpoint(blob)
+
+    def test_checkpoint_between_every_epoch(self, corpus):
+        """Resume is exact regardless of where the boundary falls."""
+        straight = make(corpus).train().model
+        for boundary in (1, 2, 3):
+            a = make(corpus)
+            a.train(until_epoch=boundary)
+            b = make(corpus)
+            b.load_checkpoint(a.save_checkpoint())
+            assert b.train().model == straight, f"boundary {boundary}"

@@ -1,0 +1,88 @@
+import io
+
+import numpy as np
+import pytest
+
+from repro.text.vocab import Vocabulary
+from repro.w2v.io import load_word2vec_text, save_word2vec_text
+from repro.w2v.model import Word2VecModel
+
+
+@pytest.fixture
+def small():
+    vocab = Vocabulary({"fox": 2, "dog": 1, "the": 5})
+    rng = np.random.default_rng(0)
+    model = Word2VecModel.initialize(3, 4, rng)
+    model.embedding[:] = rng.normal(size=(3, 4)).astype(np.float32)
+    return vocab, model
+
+
+class TestSave:
+    def test_header_and_rows(self, small):
+        vocab, model = small
+        buf = io.StringIO()
+        save_word2vec_text(model, vocab, buf)
+        lines = buf.getvalue().splitlines()
+        assert lines[0] == "3 4"
+        assert len(lines) == 4
+        first_word = lines[1].split()[0]
+        assert first_word == vocab.word_of(0)
+
+    def test_file_path(self, small, tmp_path):
+        vocab, model = small
+        path = tmp_path / "vecs.txt"
+        save_word2vec_text(model, vocab, str(path))
+        assert path.read_text().startswith("3 4\n")
+
+    def test_raw_matrix_accepted(self, small):
+        vocab, model = small
+        buf = io.StringIO()
+        save_word2vec_text(model.embedding, vocab, buf)
+        assert buf.getvalue().startswith("3 4\n")
+
+    def test_size_mismatch(self, small):
+        vocab, _ = small
+        with pytest.raises(ValueError, match="vocabulary size"):
+            save_word2vec_text(np.zeros((5, 4)), vocab, io.StringIO())
+
+    def test_whitespace_word_rejected(self):
+        vocab = Vocabulary({"bad word": 1})
+        with pytest.raises(ValueError, match="whitespace"):
+            save_word2vec_text(np.zeros((1, 2)), vocab, io.StringIO())
+
+
+class TestRoundTrip:
+    def test_save_load(self, small):
+        vocab, model = small
+        buf = io.StringIO()
+        save_word2vec_text(model, vocab, buf, precision=9)
+        buf.seek(0)
+        words, vectors = load_word2vec_text(buf)
+        assert words == [vocab.word_of(i) for i in range(3)]
+        np.testing.assert_allclose(vectors, model.embedding, rtol=1e-6)
+
+    def test_file_roundtrip(self, small, tmp_path):
+        vocab, model = small
+        path = tmp_path / "vecs.txt"
+        save_word2vec_text(model, vocab, str(path), precision=9)
+        words, vectors = load_word2vec_text(str(path))
+        assert len(words) == 3
+        np.testing.assert_allclose(vectors, model.embedding, rtol=1e-6)
+
+
+class TestLoadValidation:
+    def test_malformed_header(self):
+        with pytest.raises(ValueError, match="header"):
+            load_word2vec_text(io.StringIO("not a header\n"))
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError, match="invalid dimensions"):
+            load_word2vec_text(io.StringIO("0 4\n"))
+
+    def test_truncated(self):
+        with pytest.raises(ValueError, match="truncated"):
+            load_word2vec_text(io.StringIO("2 2\nw 1 2\n"))
+
+    def test_wrong_column_count(self):
+        with pytest.raises(ValueError, match="line 2"):
+            load_word2vec_text(io.StringIO("1 3\nw 1 2\n"))

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.w2v.model import Word2VecModel
+
+
+class TestInitialize:
+    def test_shapes_and_dtypes(self):
+        m = Word2VecModel.initialize(10, 4, np.random.default_rng(0))
+        assert m.embedding.shape == (10, 4)
+        assert m.training.shape == (10, 4)
+        assert m.embedding.dtype == np.float32
+
+    def test_word2vec_c_convention(self):
+        m = Word2VecModel.initialize(100, 8, np.random.default_rng(0))
+        # syn0 uniform in [-0.5/dim, 0.5/dim); syn1neg zero.
+        assert np.all(np.abs(m.embedding) <= 0.5 / 8)
+        assert np.all(m.training == 0)
+        assert m.embedding.std() > 0
+
+    def test_deterministic(self):
+        a = Word2VecModel.initialize(5, 3, np.random.default_rng(1))
+        b = Word2VecModel.initialize(5, 3, np.random.default_rng(1))
+        assert a == b
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            Word2VecModel.initialize(0, 4, np.random.default_rng(0))
+
+    def test_mismatched_layers_rejected(self):
+        with pytest.raises(ValueError):
+            Word2VecModel(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestGeometry:
+    def test_normalized_rows(self):
+        m = Word2VecModel(np.array([[3.0, 4.0], [0.0, 0.0]]), np.zeros((2, 2)))
+        normed = m.normalized_embedding()
+        assert np.allclose(normed[0], [0.6, 0.8])
+        assert np.allclose(normed[1], 0.0)  # zero rows survive
+
+    def test_properties(self):
+        m = Word2VecModel.initialize(7, 3, np.random.default_rng(0))
+        assert m.vocab_size == 7 and m.dim == 3
+
+    def test_memory_bytes(self):
+        m = Word2VecModel.initialize(10, 4, np.random.default_rng(0))
+        assert m.memory_bytes() == 2 * 10 * 4 * 4
+
+    def test_copy_independent(self):
+        m = Word2VecModel.initialize(4, 2, np.random.default_rng(0))
+        c = m.copy()
+        c.embedding[0, 0] += 1.0
+        assert m != c
+
+
+class TestPersistence:
+    def test_bytes_roundtrip(self):
+        m = Word2VecModel.initialize(6, 5, np.random.default_rng(3))
+        m.training[:] = np.random.default_rng(4).normal(size=(6, 5))
+        restored = Word2VecModel.from_bytes(m.to_bytes())
+        assert restored == m

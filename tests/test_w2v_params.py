@@ -1,0 +1,63 @@
+import pytest
+
+from repro.w2v.params import Word2VecParams
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("dim", 0),
+            ("window", 0),
+            ("negatives", -1),
+            ("learning_rate", 0.0),
+            ("min_learning_rate_fraction", 0.0),
+            ("min_learning_rate_fraction", 1.5),
+            ("epochs", 0),
+            ("subsample_threshold", 0.0),
+            ("min_count", 0),
+            ("max_sentence_length", 1),
+            ("batch_pairs", 0),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            Word2VecParams(**{field: value})
+
+    def test_paper_defaults(self):
+        p = Word2VecParams()
+        assert p.window == 5
+        assert p.negatives == 15
+        assert p.subsample_threshold == 1e-4
+        assert p.epochs == 16
+        assert p.learning_rate == 0.025
+        assert p.max_sentence_length == 10_000
+
+    def test_with_(self):
+        p = Word2VecParams().with_(dim=10, epochs=2)
+        assert p.dim == 10 and p.epochs == 2
+        assert p.window == 5  # untouched
+        assert Word2VecParams().dim != 10  # frozen original
+
+
+class TestLearningRateSchedule:
+    def test_linear_decay(self):
+        p = Word2VecParams(epochs=10, learning_rate=0.1)
+        assert p.learning_rate_for_epoch(0) == pytest.approx(0.1)
+        assert p.learning_rate_for_epoch(5) == pytest.approx(0.05)
+
+    def test_floor(self):
+        p = Word2VecParams(epochs=10, learning_rate=0.1)
+        assert p.learning_rate_for_epoch(9) >= 0.1 * 1e-4
+
+    def test_monotone_nonincreasing(self):
+        p = Word2VecParams(epochs=16)
+        rates = [p.learning_rate_for_epoch(e) for e in range(16)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_out_of_range(self):
+        p = Word2VecParams(epochs=4)
+        with pytest.raises(ValueError):
+            p.learning_rate_for_epoch(4)
+        with pytest.raises(ValueError):
+            p.learning_rate_for_epoch(-1)
