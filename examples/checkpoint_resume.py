@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Checkpointing distributed training.
 
-GraphWord2Vec checkpoints are epoch-granular and *exact*: because all work
+GraphWord2Vec checkpoints are round-granular and *exact*: because all work
 generation is a pure function of the seed tree, a paused-and-resumed run
 replays precisely the steps of an uninterrupted one — this script verifies
-the final models are bitwise identical.
+the final models are bitwise identical, including a pause at a mid-epoch
+synchronization-round boundary (``train(until_round=...)``).
 
 Run:  python examples/checkpoint_resume.py
 """
@@ -46,6 +47,16 @@ def main() -> None:
         other.load_checkpoint(blob)
     except ValueError as exc:
         print(f"mismatched config rejected as expected: {exc}")
+
+    # Checkpoints are round-granular: pausing *inside* an epoch resumes
+    # just as exactly.
+    mid = trainer()
+    kill_at = mid.sync_rounds + mid.sync_rounds // 2  # halfway through epoch 1
+    mid.train(until_round=kill_at)
+    resumed_mid = trainer()
+    resumed_mid.load_checkpoint(mid.save_checkpoint())
+    assert resumed_mid.train().model == straight
+    print(f"verified: resume from mid-epoch round {kill_at} is exact too")
 
 
 if __name__ == "__main__":

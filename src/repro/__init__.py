@@ -21,6 +21,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
 
+from repro.cluster import FaultConfig, FaultReport, FaultSchedule
 from repro.core import (
     AvgCombiner,
     ModelCombiner,
@@ -66,5 +67,8 @@ __all__ = [
     "SharedMemoryWord2Vec",
     "Word2VecModel",
     "Word2VecParams",
+    "FaultConfig",
+    "FaultSchedule",
+    "FaultReport",
     "__version__",
 ]

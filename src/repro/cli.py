@@ -51,6 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--objective", default="negative", choices=["negative", "hierarchical"]
     )
     train.add_argument("--seed", type=int, default=7)
+    train.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help=(
+            "inject faults into the simulated cluster (multi-host only); "
+            "SPEC is comma-separated key=value, e.g. "
+            "'crash=0.02,drop=0.01,corrupt=0.005,straggler=0.1'. "
+            "Keys map to repro.cluster.FaultConfig fields."
+        ),
+    )
     train.add_argument("--save", type=Path, help="write the trained model (.npz)")
 
     neighbors = sub.add_parser("neighbors", help="nearest-neighbor queries")
@@ -121,6 +131,18 @@ def _cmd_train(args) -> int:
 
     corpus, questions = _load_corpus(args)
     params = _params_from(args)
+    fault_config = None
+    if args.faults is not None:
+        if args.hosts == 1:
+            print("error: --faults requires --hosts > 1", file=sys.stderr)
+            return 2
+        from repro.cluster.faults import parse_fault_spec
+
+        try:
+            fault_config = parse_fault_spec(args.faults)
+        except ValueError as exc:
+            print(f"error: invalid --faults spec: {exc}", file=sys.stderr)
+            return 2
     print(f"training on {corpus} with {params}")
     if args.hosts == 1:
         model = SharedMemoryWord2Vec(corpus, params, seed=args.seed).train()
@@ -133,6 +155,7 @@ def _cmd_train(args) -> int:
             combiner=args.combiner,
             plan=args.plan,
             seed=args.seed,
+            faults=fault_config,
         )
         result = trainer.train()
         model = result.model
@@ -141,9 +164,12 @@ def _cmd_train(args) -> int:
             f"modeled cluster time {report.total_time_s:.2f}s "
             f"(compute {report.breakdown.compute_s:.2f}s, "
             f"comm {report.breakdown.communication_s:.2f}s, "
-            f"inspect {report.breakdown.inspection_s:.2f}s); "
+            f"inspect {report.breakdown.inspection_s:.2f}s, "
+            f"recovery {report.breakdown.recovery_s:.2f}s); "
             f"{report.comm_bytes:,} bytes in {report.comm_messages:,} messages"
         )
+        if report.faults is not None:
+            print(f"faults: {report.faults.summary()}")
     if questions is not None:
         print(evaluate_analogies(model, corpus.vocabulary, questions))
     if args.save is not None:

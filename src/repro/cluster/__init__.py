@@ -9,6 +9,15 @@ counts recorded by :class:`repro.gluon.comm.SimulatedNetwork`.  See DESIGN.md
 §3 for why this substitution preserves the paper's claims.
 """
 
+from repro.cluster.faults import (
+    CrashEvent,
+    FaultConfig,
+    FaultReport,
+    FaultSchedule,
+    TransientFaultInjector,
+    UnrecoverableFaultError,
+    parse_fault_spec,
+)
 from repro.cluster.metrics import ClusterMetrics, TimeBreakdown
 from repro.cluster.network import NetworkModel
 from repro.cluster.simulator import DistributedRunReport
@@ -21,4 +30,11 @@ __all__ = [
     "DistributedRunReport",
     "build_chrome_trace",
     "trace_json",
+    "FaultConfig",
+    "FaultSchedule",
+    "CrashEvent",
+    "FaultReport",
+    "TransientFaultInjector",
+    "UnrecoverableFaultError",
+    "parse_fault_spec",
 ]

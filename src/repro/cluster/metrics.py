@@ -11,21 +11,29 @@ __all__ = ["TimeBreakdown", "ClusterMetrics"]
 
 @dataclass
 class TimeBreakdown:
-    """Modeled wall-clock split the way Figure 9 reports it."""
+    """Modeled wall-clock split the way Figure 9 reports it.
+
+    ``recovery_s`` is the time that exists only because faults happened
+    (crash detection, checkpoint restore, chunk replay, retransmission
+    backoff); it is 0.0 for fault-free runs, keeping their totals
+    identical to the pre-fault-model breakdown.
+    """
 
     compute_s: float = 0.0
     communication_s: float = 0.0
     inspection_s: float = 0.0
+    recovery_s: float = 0.0
 
     @property
     def total_s(self) -> float:
-        return self.compute_s + self.communication_s + self.inspection_s
+        return self.compute_s + self.communication_s + self.inspection_s + self.recovery_s
 
     def __add__(self, other: "TimeBreakdown") -> "TimeBreakdown":
         return TimeBreakdown(
             compute_s=self.compute_s + other.compute_s,
             communication_s=self.communication_s + other.communication_s,
             inspection_s=self.inspection_s + other.inspection_s,
+            recovery_s=self.recovery_s + other.recovery_s,
         )
 
 
@@ -43,8 +51,10 @@ class ClusterMetrics:
         self.num_hosts = num_hosts
         self._rounds: list[np.ndarray] = []
         self._inspection_rounds: list[np.ndarray] = []
+        self._recovery_rounds: list[np.ndarray] = []
         self._current: np.ndarray | None = None
         self._current_inspection: np.ndarray | None = None
+        self._current_recovery: np.ndarray | None = None
 
     # -- round lifecycle ----------------------------------------------------
     def begin_round(self) -> None:
@@ -52,6 +62,7 @@ class ClusterMetrics:
             raise RuntimeError("previous round not ended")
         self._current = np.zeros(self.num_hosts)
         self._current_inspection = np.zeros(self.num_hosts)
+        self._current_recovery = np.zeros(self.num_hosts)
 
     def record_compute(self, host: int, seconds: float) -> None:
         if self._current is None:
@@ -67,18 +78,62 @@ class ClusterMetrics:
             raise ValueError(f"negative time {seconds}")
         self._current_inspection[host] += seconds
 
+    def record_recovery(self, host: int, seconds: float) -> None:
+        """Time ``host`` spent recovering from a fault this round.
+
+        Recovery stalls the round barrier, so like compute it contributes
+        its per-round maximum to the modeled wall clock (concurrent
+        recoveries of distinct hosts overlap).
+        """
+        if self._current_recovery is None:
+            raise RuntimeError("no active round")
+        if seconds < 0:
+            raise ValueError(f"negative time {seconds}")
+        self._current_recovery[host] += seconds
+
     def end_round(self) -> None:
         if self._current is None:
             raise RuntimeError("no active round")
         self._rounds.append(self._current)
         self._inspection_rounds.append(self._current_inspection)
+        self._recovery_rounds.append(self._current_recovery)
         self._current = None
         self._current_inspection = None
+        self._current_recovery = None
 
     # -- aggregation -----------------------------------------------------------
     @property
     def num_rounds(self) -> int:
         return len(self._rounds)
+
+    @staticmethod
+    def _readonly(rounds: list[np.ndarray]) -> tuple[np.ndarray, ...]:
+        views = []
+        for r in rounds:
+            v = r.view()
+            v.flags.writeable = False
+            views.append(v)
+        return tuple(views)
+
+    @property
+    def compute_rounds(self) -> tuple[np.ndarray, ...]:
+        """Per-round measured compute seconds, one ``(num_hosts,)`` array each.
+
+        Read-only views over completed rounds — the public contract consumed
+        by :mod:`repro.cluster.trace` and anything else replaying the
+        timeline.
+        """
+        return self._readonly(self._rounds)
+
+    @property
+    def inspection_rounds(self) -> tuple[np.ndarray, ...]:
+        """Per-round measured inspection seconds (read-only views)."""
+        return self._readonly(self._inspection_rounds)
+
+    @property
+    def recovery_rounds(self) -> tuple[np.ndarray, ...]:
+        """Per-round modeled fault-recovery seconds (read-only views)."""
+        return self._readonly(self._recovery_rounds)
 
     def modeled_compute_s(self) -> float:
         """Sum over rounds of the slowest host's compute time."""
@@ -86,6 +141,10 @@ class ClusterMetrics:
 
     def modeled_inspection_s(self) -> float:
         return float(sum(r.max() for r in self._inspection_rounds))
+
+    def modeled_recovery_s(self) -> float:
+        """Sum over rounds of the slowest host's recovery stall."""
+        return float(sum(r.max() for r in self._recovery_rounds))
 
     def sequential_compute_s(self) -> float:
         """Total measured compute across all hosts (1-host equivalent work)."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cluster.faults import FaultReport
 from repro.cluster.metrics import ClusterMetrics, TimeBreakdown
 from repro.cluster.network import NetworkModel
 from repro.gluon.comm import SimulatedNetwork
@@ -27,6 +28,8 @@ class DistributedRunReport:
     sequential_compute_s: float = 0.0
     pairs_processed: int = 0
     peak_replica_rows: int = 0  # PullModel memory footprint (rows resident)
+    #: Itemized fault costs; None when fault injection was not enabled.
+    faults: FaultReport | None = None
 
     @property
     def total_time_s(self) -> float:
@@ -46,12 +49,24 @@ class DistributedRunReport:
         model: NetworkModel,
         pairs_processed: int = 0,
         peak_replica_rows: int = 0,
+        fault_report: FaultReport | None = None,
     ) -> "DistributedRunReport":
-        comm_s = model.total_time(network.phase_records)
+        # Restore traffic (phases named "recovery:*") is a fault cost, not
+        # steady-state communication — price it into the recovery bucket so
+        # a fault-free run's communication_s is unchanged by this split.
+        regular = [r for r in network.phase_records if not r.name.startswith("recovery")]
+        restore = [r for r in network.phase_records if r.name.startswith("recovery")]
+        comm_s = model.total_time(regular)
+        # Recovery = barrier stalls recorded per round (crash detection,
+        # restore, replay) plus restore traffic and retransmission backoff.
+        recovery_s = metrics.modeled_recovery_s() + model.total_time(restore)
+        if fault_report is not None:
+            recovery_s += fault_report.backoff_s
         breakdown = TimeBreakdown(
             compute_s=metrics.modeled_compute_s(),
             communication_s=comm_s,
             inspection_s=metrics.modeled_inspection_s(),
+            recovery_s=recovery_s,
         )
         # Group phase bytes by kind (reduce/broadcast/request), dropping the
         # per-field suffix for readability.
@@ -72,4 +87,5 @@ class DistributedRunReport:
             sequential_compute_s=metrics.sequential_compute_s(),
             pairs_processed=pairs_processed,
             peak_replica_rows=peak_replica_rows,
+            faults=fault_report,
         )

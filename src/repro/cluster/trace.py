@@ -34,8 +34,10 @@ def build_chrome_trace(
     synchronizer emits them.
     """
     events: list[dict] = []
-    per_round = metrics._rounds  # measured seconds, shape (hosts,) per round
-    inspections = metrics._inspection_rounds
+    # Public read-only accessors: measured seconds, shape (hosts,) per round.
+    per_round = metrics.compute_rounds
+    inspections = metrics.inspection_rounds
+    recoveries = metrics.recovery_rounds
     records = list(phase_records)
     # Phases per round: total records divided evenly (each round emits the
     # same phase sequence).
@@ -75,6 +77,26 @@ def build_chrome_trace(
         barrier = start + float(compute.max()) + (
             float(inspections[round_index].max()) if inspections else 0.0
         )
+        # Fault recovery stalls the barrier: crashed hosts restore and
+        # replay while survivors wait, so the round's communication starts
+        # after the slowest recovery.
+        recovery = recoveries[round_index] if recoveries else None
+        if recovery is not None and recovery.max() > 0:
+            for host in range(metrics.num_hosts):
+                duration = float(recovery[host])
+                if duration > 0:
+                    events.append(
+                        {
+                            "name": f"recover r{round_index}",
+                            "ph": "X",
+                            "pid": 0,
+                            "tid": host,
+                            "ts": barrier * _US,
+                            "dur": duration * _US,
+                            "cat": "recovery",
+                        }
+                    )
+            barrier += float(recovery.max())
         clock = barrier
         for _ in range(per_round_phases):
             if record_cursor >= len(records):

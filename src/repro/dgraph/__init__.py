@@ -10,6 +10,6 @@ PageRank, connected components), all synchronized through Gluon.
 
 from repro.dgraph.graph import Graph
 from repro.dgraph.dist_graph import DistGraph
-from repro.dgraph.bsp import BSPEngine, RoundStats
+from repro.dgraph.bsp import BSPEngine, RecoveryPolicy, RoundStats
 
-__all__ = ["Graph", "DistGraph", "BSPEngine", "RoundStats"]
+__all__ = ["Graph", "DistGraph", "BSPEngine", "RoundStats", "RecoveryPolicy"]

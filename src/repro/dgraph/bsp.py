@@ -5,16 +5,28 @@ the operator to its partition (computation), then all hosts synchronize
 labels through Gluon (communication), until global quiescence.  The
 :class:`BSPEngine` encodes that loop once so applications only provide the
 per-host compute function and the sync call.
+
+Fault tolerance.  A :class:`RecoveryPolicy` attaches a
+:class:`~repro.cluster.faults.FaultSchedule` to the loop: a host scheduled
+to crash loses its round, the engine restores it from the round-boundary
+checkpoint the application provides, and the lost compute is replayed
+before the barrier — the replay lands on the restored state, so a
+deterministic operator converges to the same fixpoint as a fault-free run.
+Transient message faults (drops/corruption) are retried with backoff
+*inside* the synchronization phase; attach
+``schedule.message_injector()`` to the application's
+:class:`~repro.gluon.comm.SimulatedNetwork` to enable them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
+from repro.cluster.faults import FaultReport, FaultSchedule
 from repro.gluon.sync import ValueSyncResult
 
-__all__ = ["BSPEngine", "RoundStats"]
+__all__ = ["BSPEngine", "RoundStats", "RecoveryPolicy"]
 
 
 @dataclass
@@ -24,6 +36,26 @@ class RoundStats:
     round_index: int
     local_work: int  # items processed across hosts this round
     sync_changed: bool
+    #: Hosts that crashed this round and were recovered (empty when none).
+    crashed_hosts: tuple[int, ...] = ()
+
+
+@dataclass
+class RecoveryPolicy:
+    """Checkpoint-based fail-stop recovery for the BSP loop.
+
+    ``checkpoint()`` captures the application state at a round boundary
+    (called only on rounds with a scheduled crash); ``restore(state,
+    host)`` rebuilds the crashed host's partition from it.  The engine
+    then *redistributes* the lost round: the dead host's work item is
+    replayed via the ordinary compute callable on the restored state.
+    Costs are tallied into :attr:`report`.
+    """
+
+    schedule: FaultSchedule
+    checkpoint: Callable[[], Any]
+    restore: Callable[[Any, int], None]
+    report: FaultReport = field(default_factory=FaultReport)
 
 
 class BSPEngine:
@@ -37,13 +69,24 @@ class BSPEngine:
     algorithms), or when ``max_rounds`` is hit.
     """
 
-    def __init__(self, num_hosts: int, max_rounds: int = 10_000):
+    def __init__(
+        self,
+        num_hosts: int,
+        max_rounds: int = 10_000,
+        recovery: RecoveryPolicy | None = None,
+    ):
         if num_hosts <= 0:
             raise ValueError(f"num_hosts must be positive, got {num_hosts}")
         if max_rounds <= 0:
             raise ValueError(f"max_rounds must be positive, got {max_rounds}")
+        if recovery is not None and recovery.schedule.num_hosts != num_hosts:
+            raise ValueError(
+                f"fault schedule built for {recovery.schedule.num_hosts} hosts, "
+                f"engine has {num_hosts}"
+            )
         self.num_hosts = num_hosts
         self.max_rounds = max_rounds
+        self.recovery = recovery
         self.history: list[RoundStats] = []
 
     def run(
@@ -54,15 +97,37 @@ class BSPEngine:
     ) -> int:
         """Execute rounds to quiescence; returns the number of rounds run."""
         self.history.clear()
+        policy = self.recovery
         for round_index in range(self.max_rounds):
+            crashes = (
+                policy.schedule.crashes_at(0, round_index)
+                if policy is not None
+                else ()
+            )
+            crashed = tuple(sorted(ev.host for ev in crashes))
+            snapshot = policy.checkpoint() if crashes else None
+
             local_work = 0
             for host in range(self.num_hosts):
+                if host in crashed:
+                    continue  # lost mid-round; replayed below
                 local_work += int(compute(host, round_index))
+
+            if crashes:
+                config = policy.schedule.config
+                for ev in crashes:
+                    policy.report.crashes += 1
+                    policy.report.detect_s += config.detect_timeout_s
+                    policy.restore(snapshot, ev.host)
+                    # Redistribute the lost round: replay on restored state.
+                    local_work += int(compute(ev.host, round_index))
+
             result = sync()
             stats = RoundStats(
                 round_index=round_index,
                 local_work=local_work,
                 sync_changed=result.any_changed,
+                crashed_hosts=crashed,
             )
             self.history.append(stats)
             pending = (

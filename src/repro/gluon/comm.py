@@ -14,14 +14,25 @@ Wire-size conventions (documented so volumes are reproducible):
 - float payloads: 4 bytes per element (float32, as in the paper's vectors),
 - bit vectors: their word storage (``BitVector.nbytes``),
 - metadata header per message: 16 bytes.
+
+Fault injection: the network optionally consults a
+:class:`~repro.cluster.faults.TransientFaultInjector` on every send.
+Transient faults (drops, corruptions) are recovered by retransmission
+inside the BSP phase barrier, so the payload is always delivered — the
+fault surfaces as extra bytes charged to the phase (and to
+``MessageStats.resent_bytes``) plus backoff time the injector accumulates.
+Without an injector the send path is exactly the fault-free one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster -> gluon)
+    from repro.cluster.faults import TransientFaultInjector
 
 __all__ = ["MessageStats", "PhaseRecord", "SimulatedNetwork", "HEADER_BYTES", "ID_BYTES", "VALUE_BYTES"]
 
@@ -39,6 +50,8 @@ class PhaseRecord:
     sent: np.ndarray = field(default=None)  # type: ignore[assignment]
     recv: np.ndarray = field(default=None)  # type: ignore[assignment]
     messages: int = 0
+    #: Bytes of ``sent``/``recv`` that are fault retransmissions (and NACKs).
+    resent_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.sent is None:
@@ -61,6 +74,8 @@ class MessageStats:
 
     total_messages: int = 0
     total_bytes: int = 0
+    resent_bytes: int = 0
+    retransmissions: int = 0
     bytes_by_phase: dict[str, int] = field(default_factory=dict)
     messages_by_phase: dict[str, int] = field(default_factory=dict)
 
@@ -69,6 +84,13 @@ class MessageStats:
         self.total_bytes += nbytes
         self.bytes_by_phase[phase] = self.bytes_by_phase.get(phase, 0) + nbytes
         self.messages_by_phase[phase] = self.messages_by_phase.get(phase, 0) + 1
+
+    def record_resend(self, phase: str, nbytes: int) -> None:
+        """Charge fault-retransmission bytes (no new logical message)."""
+        self.total_bytes += nbytes
+        self.resent_bytes += nbytes
+        self.retransmissions += 1
+        self.bytes_by_phase[phase] = self.bytes_by_phase.get(phase, 0) + nbytes
 
 
 class SimulatedNetwork:
@@ -85,10 +107,11 @@ class SimulatedNetwork:
     phase.  ``drain`` returns and clears a host's inbox in arrival order.
     """
 
-    def __init__(self, num_hosts: int):
+    def __init__(self, num_hosts: int, fault_injector: "TransientFaultInjector | None" = None):
         if num_hosts <= 0:
             raise ValueError(f"num_hosts must be positive, got {num_hosts}")
         self.num_hosts = int(num_hosts)
+        self.fault_injector = fault_injector
         self.stats = MessageStats()
         self.phase_records: list[PhaseRecord] = []
         self._active: PhaseRecord | None = None
@@ -141,6 +164,15 @@ class SimulatedNetwork:
         record.recv[dst] += wire
         record.messages += 1
         self.stats.record(phase_name, wire)
+        if self.fault_injector is not None:
+            extra, _delay = self.fault_injector.on_send(wire)
+            if extra:
+                # Retransmissions traverse the same endpoints; the barrier
+                # absorbs the backoff delay (accumulated by the injector).
+                record.sent[src] += extra
+                record.recv[dst] += extra
+                record.resent_bytes += extra
+                self.stats.record_resend(phase_name, extra)
         self._inboxes[dst].append((src, payload))
 
     def drain(self, dst: int) -> list[tuple[int, Any]]:

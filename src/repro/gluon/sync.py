@@ -302,6 +302,46 @@ class GluonSynchronizer:
         )
 
     # ------------------------------------------------------------------
+    # Crash recovery (fault injection)
+    # ------------------------------------------------------------------
+    def restore_host(self, field: FieldSync, host: int, phase: str = "recovery") -> int:
+        """Rebuild ``host``'s replica of ``field`` after a fail-stop crash.
+
+        Every surviving master streams its full canonical block to the
+        recovering host.  Masters read from their delta *bases*, which hold
+        the canonical values of the last completed round (bases of master
+        rows are only rewritten by the post-sync repair), so the transfer is
+        correct even while survivors are mid-round.  Blocks are contiguous,
+        so ids stay implicit on the wire.  The recovering host's own master
+        block is not touched — the caller restores it from the round
+        checkpoint (stable storage), which is the only surviving copy.
+
+        Returns the wire bytes charged to the ``{phase}:{field}`` records.
+        """
+        if not 0 <= host < self.num_hosts:
+            raise ValueError(f"host {host} out of range [0, {self.num_hosts})")
+        dim = field.dim
+        with self.network.phase(f"{phase}:{field.name}") as record:
+            for m in range(self.num_hosts):
+                if m == host:
+                    continue
+                lo, hi = int(self.bounds[m]), int(self.bounds[m + 1])
+                rows = hi - lo
+                if rows == 0:
+                    continue
+                wire = rows * dim * VALUE_BYTES
+                self.network.send(
+                    m,
+                    host,
+                    wire,
+                    payload=(np.arange(lo, hi, dtype=np.int64), field.bases[m][lo:hi].copy()),
+                )
+            for _src, (ids, vals) in self.network.drain(host):
+                field.arrays[host][ids] = vals
+                field.bases[host][ids] = vals
+        return record.total_bytes
+
+    # ------------------------------------------------------------------
     # Value-mode synchronization (classic graph analytics)
     # ------------------------------------------------------------------
     def sync_value(

@@ -27,6 +27,22 @@ negatives) is drawn from a seed tree keyed by (epoch, round, host), so runs
 are pure functions of the seed — in particular the *same* training examples
 are generated under every communication plan, which is what makes the
 "plans differ only in bytes, never in the model" invariant testable.
+
+Fault tolerance.  With ``faults`` enabled the trainer takes a canonical
+round-granular checkpoint at every synchronization boundary and consults a
+:class:`~repro.cluster.faults.FaultSchedule`.  Transient message faults are
+retransmitted inside the phase barrier (extra bytes + backoff, payloads
+intact).  A fail-stop host crash loses the host's replica and its in-round
+work; recovery restores the host's own master block from the checkpoint,
+streams surviving masters' blocks over the network, and replays the lost
+worklist chunk.  Because replicas hold canonical values at round boundaries
+and work generation is seed-pure, the replayed updates are *bit-identical*
+to the lost ones: faults cost time and bytes, never model quality.  The
+modeled recovery time redistributes the dead host's shard across the
+surviving hosts — consistent with how the simulation treats all wall-clock
+(values come from the sequential execution, time from the concurrency
+model).  The schedule itself is a pure function of the seed, so faulty runs
+are exactly as reproducible as fault-free ones.
 """
 
 from __future__ import annotations
@@ -37,12 +53,13 @@ from typing import Callable
 
 import numpy as np
 
+from repro.cluster.faults import FaultConfig, FaultReport, FaultSchedule
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.network import NetworkModel, SCALED_DEFAULT
 from repro.cluster.simulator import DistributedRunReport
 from repro.core.combiners import GradientCombiner, get_combiner
 from repro.gluon.bitvector import BitVector
-from repro.gluon.comm import SimulatedNetwork
+from repro.gluon.comm import VALUE_BYTES, SimulatedNetwork
 from repro.gluon.partitioner import replicate_all_partitions
 from repro.gluon.plans import CommPlan, get_plan
 from repro.gluon.sync import FieldSync, GluonSynchronizer
@@ -50,6 +67,7 @@ from repro.text.corpus import Corpus
 from repro.text.negative_sampling import UnigramTable
 from repro.util.rng import SeedSequenceTree
 from repro.w2v.huffman import HuffmanTree
+from repro.w2v.io import CheckpointState, load_checkpoint_blob, save_checkpoint_blob
 from repro.w2v.model import Word2VecModel
 from repro.w2v.params import Word2VecParams
 from repro.w2v.steps import RoundWork, build_round_work, output_rows_for
@@ -92,12 +110,21 @@ class GraphWord2Vec:
         network_model: NetworkModel = SCALED_DEFAULT,
         compute_loss: bool = False,
         host_speed_factors: list[float] | None = None,
+        faults: FaultConfig | FaultSchedule | None = None,
     ):
         """``host_speed_factors`` models a heterogeneous cluster: host h's
         measured compute time is scaled by factor[h] (>1 = slower host)
         before entering the BSP timing model, whose per-round max then
         shows the straggler effect.  Training results are unaffected —
-        only the modeled wall-clock changes."""
+        only the modeled wall-clock changes.
+
+        ``faults`` enables fault injection: pass a
+        :class:`~repro.cluster.faults.FaultConfig` (a schedule is
+        materialized from this trainer's seed tree) or a pre-built
+        :class:`~repro.cluster.faults.FaultSchedule`.  ``None`` (default)
+        leaves every fault hook disengaged — byte accounting, timing and
+        the final model are bit-identical to a build without the fault
+        subsystem."""
         if num_hosts <= 0:
             raise ValueError(f"num_hosts must be positive, got {num_hosts}")
         if host_speed_factors is not None:
@@ -134,6 +161,39 @@ class GraphWord2Vec:
         )
         self._seeds = SeedSequenceTree(seed if seed is not None else 0)
 
+        # Fault injection: the schedule is a pure function of the seed tree,
+        # so faulty runs are exactly as reproducible as fault-free ones.
+        if faults is None:
+            self.fault_schedule: FaultSchedule | None = None
+        elif isinstance(faults, FaultSchedule):
+            if faults.num_hosts != self.num_hosts:
+                raise ValueError(
+                    f"fault schedule built for {faults.num_hosts} hosts, "
+                    f"trainer has {self.num_hosts}"
+                )
+            self.fault_schedule = faults
+        elif isinstance(faults, FaultConfig):
+            self.fault_schedule = FaultSchedule.generate(
+                faults,
+                seed=self._seeds.subtree("faults").seed,
+                num_hosts=self.num_hosts,
+                epochs=params.epochs,
+                rounds_per_epoch=self.sync_rounds,
+            )
+        else:
+            raise TypeError(
+                f"faults must be FaultConfig, FaultSchedule or None, got {type(faults)!r}"
+            )
+        self.fault_report = (
+            FaultReport() if self.fault_schedule is not None else None
+        )
+        self._fault_injector = (
+            self.fault_schedule.message_injector()
+            if self.fault_schedule is not None
+            else None
+        )
+        self._round_checkpoint: Word2VecModel | None = None
+
         vocab = corpus.vocabulary
         self._keep_prob = vocab.keep_probabilities(params.subsample_threshold)
         self._table = (
@@ -147,7 +207,7 @@ class GraphWord2Vec:
 
         # Substrate: replicate-all partitions per field (the output layer
         # has its own node space under hierarchical softmax), one network.
-        self.network = SimulatedNetwork(self.num_hosts)
+        self.network = SimulatedNetwork(self.num_hosts, fault_injector=self._fault_injector)
         self.partitions = replicate_all_partitions(vocab_size, self.num_hosts)
         self._sync_emb = GluonSynchronizer(self.partitions, self.network)
         if output_rows == vocab_size:
@@ -189,6 +249,10 @@ class GraphWord2Vec:
         self._epoch_pairs: list[int] = []
         self._peak_access_rows = 0
         self._completed_epochs = 0
+        # Round-granular progress: rounds finished inside the current epoch,
+        # and the training pairs those rounds processed.
+        self._completed_rounds = 0
+        self._partial_pairs = 0
 
     # ------------------------------------------------------------------
     # Deterministic work generation
@@ -268,97 +332,46 @@ class GraphWord2Vec:
         self,
         epoch_callback: Callable[[int, Word2VecModel], None] | None = None,
         until_epoch: int | None = None,
+        until_round: int | None = None,
     ) -> DistributedTrainResult:
         """Train remaining epochs (all, or up to ``until_epoch`` exclusive).
 
         ``until_epoch`` does not change the learning-rate schedule — it only
         pauses training, so a paused-and-resumed run replays the exact same
         steps as an uninterrupted one (see :meth:`save_checkpoint`).
+        ``until_round`` pauses with round granularity: training stops once
+        ``until_round`` *global* synchronization rounds (``epoch *
+        sync_rounds + round``) have completed, mid-epoch boundaries
+        included.
         """
         params = self.params
         stop = params.epochs if until_epoch is None else min(until_epoch, params.epochs)
-        emb_field = self._fields["embedding"]
-        out_field = self._fields["training"]
-        V = emb_field.num_nodes
-        O = out_field.num_nodes
 
         for epoch in range(self._completed_epochs, stop):
             lr = params.learning_rate_for_epoch(epoch)
-            epoch_pairs = 0
-            for s in range(self.sync_rounds):
-                self.metrics.begin_round()
-                updated_emb = [BitVector(V) for _ in range(self.num_hosts)]
-                updated_out = [BitVector(O) for _ in range(self.num_hosts)]
+            paused = False
+            for s in range(self._completed_rounds, self.sync_rounds):
+                if (
+                    until_round is not None
+                    and epoch * self.sync_rounds + s >= until_round
+                ):
+                    paused = True
+                    break
+                self._partial_pairs += self._run_round(epoch, s, lr)
+                self._completed_rounds = s + 1
+            if paused:
+                break
 
-                # -- compute phase (hosts run concurrently on a cluster; we
-                #    execute them one after another and keep per-host time).
-                for host in range(self.num_hosts):
-                    work = self._pop_work(epoch, s, host)
-                    start = time.perf_counter()
-                    _loss, pairs = work.apply(
-                        emb_field.arrays[host],
-                        out_field.arrays[host],
-                        lr,
-                        params.batch_pairs,
-                        compute_loss=self.compute_loss,
-                    )
-                    self.metrics.record_compute(
-                        host,
-                        (time.perf_counter() - start) * self.host_speed_factors[host],
-                    )
-                    if work.embedding_access.size:
-                        updated_emb[host].set_many(work.embedding_access)
-                    if work.output_access.size:
-                        updated_out[host].set_many(work.output_access)
-                    epoch_pairs += pairs
-
-                # -- inspection phase (PullModel): generate the next round's
-                #    edges to learn which nodes each host will access.
-                accessed_emb = accessed_out = None
-                if self.plan.requires_access_sets:
-                    accessed_emb, accessed_out = [], []
-                    next_slot = self._next_slot(epoch, s)
-                    for host in range(self.num_hosts):
-                        if next_slot is None:
-                            empty = np.empty(0, dtype=np.int64)
-                            accessed_emb.append(empty)
-                            accessed_out.append(empty)
-                            continue
-                        start = time.perf_counter()
-                        next_work = self._get_work(*next_slot, host)
-                        self.metrics.record_inspection(
-                            host, time.perf_counter() - start
-                        )
-                        accessed_emb.append(next_work.embedding_access)
-                        accessed_out.append(next_work.output_access)
-                        self._peak_access_rows = max(
-                            self._peak_access_rows,
-                            int(
-                                next_work.embedding_access.size
-                                + next_work.output_access.size
-                            ),
-                        )
-
-                # -- synchronization (Algorithm 1, line 10).  The inductive
-                # fold order rotates with the global round counter so no
-                # host's shard is permanently favored by the combiner.
-                fold = epoch * self.sync_rounds + s
-                self._sync_emb.sync_replicated(
-                    emb_field, updated_emb, self.combiner, self.plan,
-                    accessed_next=accessed_emb, fold_offset=fold,
-                )
-                self._sync_out.sync_replicated(
-                    out_field, updated_out, self.combiner, self.plan,
-                    accessed_next=accessed_out, fold_offset=fold,
-                )
-                self.metrics.end_round()
-
-            self._pairs_total += epoch_pairs
-            self._epoch_pairs.append(epoch_pairs)
+            self._pairs_total += self._partial_pairs
+            self._epoch_pairs.append(self._partial_pairs)
+            self._partial_pairs = 0
+            self._completed_rounds = 0
             self._completed_epochs = epoch + 1
             if epoch_callback is not None:
                 epoch_callback(epoch, self.canonical_model())
 
+        if self.fault_report is not None:
+            self.fault_report.absorb_injector(self._fault_injector)
         report = DistributedRunReport.build(
             num_hosts=self.num_hosts,
             sync_rounds_per_epoch=self.sync_rounds,
@@ -368,14 +381,227 @@ class GraphWord2Vec:
             metrics=self.metrics,
             network=self.network,
             model=self.network_model,
-            pairs_processed=self._pairs_total,
+            pairs_processed=self._pairs_total + self._partial_pairs,
             peak_replica_rows=self._peak_access_rows,
+            fault_report=self.fault_report,
         )
         return DistributedTrainResult(
             model=self.canonical_model(),
             report=report,
             epoch_pairs=list(self._epoch_pairs),
         )
+
+    def _run_round(self, epoch: int, s: int, lr: float) -> int:
+        """Execute one synchronization round; returns pairs processed."""
+        params = self.params
+        emb_field = self._fields["embedding"]
+        out_field = self._fields["training"]
+        V = emb_field.num_nodes
+        O = out_field.num_nodes
+        schedule = self.fault_schedule
+        crashes = schedule.crashes_at(epoch, s) if schedule is not None else ()
+        if schedule is not None and schedule.has_crashes:
+            # Round-granular checkpoint: the canonical state at this
+            # boundary is what crash recovery restores from.  Writes are
+            # modeled as asynchronous (overlapped with the next round's
+            # compute), so checkpointing itself costs no modeled time;
+            # restores are charged when a crash happens.
+            self._round_checkpoint = self.canonical_model()
+        crashed_hosts = {ev.host for ev in crashes}
+        round_pairs = 0
+
+        self.metrics.begin_round()
+        updated_emb = [BitVector(V) for _ in range(self.num_hosts)]
+        updated_out = [BitVector(O) for _ in range(self.num_hosts)]
+
+        # -- compute phase (hosts run concurrently on a cluster; we
+        #    execute them one after another and keep per-host time).
+        base_times: list[float] = []
+        slow_times: list[float] = []
+        for host in range(self.num_hosts):
+            if host in crashed_hosts:
+                continue  # fails mid-chunk; recovery below replays it
+            work = self._pop_work(epoch, s, host)
+            start = time.perf_counter()
+            _loss, pairs = work.apply(
+                emb_field.arrays[host],
+                out_field.arrays[host],
+                lr,
+                params.batch_pairs,
+                compute_loss=self.compute_loss,
+            )
+            measured = time.perf_counter() - start
+            self.metrics.record_compute(
+                host, measured * self._time_factor(epoch, s, host)
+            )
+            base_times.append(measured * self.host_speed_factors[host])
+            slow_times.append(measured * self._time_factor(epoch, s, host))
+            if work.embedding_access.size:
+                updated_emb[host].set_many(work.embedding_access)
+            if work.output_access.size:
+                updated_out[host].set_many(work.output_access)
+            round_pairs += pairs
+        if (
+            self.fault_report is not None
+            and slow_times
+            and slow_times != base_times
+        ):
+            self.fault_report.straggler_rounds += 1
+            self.fault_report.straggler_extra_s += max(slow_times) - max(base_times)
+
+        # -- recovery phase: failures surface at the barrier.
+        if crashes:
+            round_pairs += self._recover_crashes(
+                epoch, s, lr, crashes, updated_emb, updated_out
+            )
+
+        # -- inspection phase (PullModel): generate the next round's
+        #    edges to learn which nodes each host will access.
+        accessed_emb = accessed_out = None
+        if self.plan.requires_access_sets:
+            accessed_emb, accessed_out = [], []
+            next_slot = self._next_slot(epoch, s)
+            for host in range(self.num_hosts):
+                if next_slot is None:
+                    empty = np.empty(0, dtype=np.int64)
+                    accessed_emb.append(empty)
+                    accessed_out.append(empty)
+                    continue
+                start = time.perf_counter()
+                next_work = self._get_work(*next_slot, host)
+                self.metrics.record_inspection(
+                    host, time.perf_counter() - start
+                )
+                accessed_emb.append(next_work.embedding_access)
+                accessed_out.append(next_work.output_access)
+                self._peak_access_rows = max(
+                    self._peak_access_rows,
+                    int(
+                        next_work.embedding_access.size
+                        + next_work.output_access.size
+                    ),
+                )
+
+        # -- synchronization (Algorithm 1, line 10).  The inductive
+        # fold order rotates with the global round counter so no
+        # host's shard is permanently favored by the combiner.
+        fold = epoch * self.sync_rounds + s
+        self._sync_emb.sync_replicated(
+            emb_field, updated_emb, self.combiner, self.plan,
+            accessed_next=accessed_emb, fold_offset=fold,
+        )
+        self._sync_out.sync_replicated(
+            out_field, updated_out, self.combiner, self.plan,
+            accessed_next=accessed_out, fold_offset=fold,
+        )
+        self.metrics.end_round()
+        return round_pairs
+
+    def _time_factor(self, epoch: int, s: int, host: int) -> float:
+        """Combined compute-time scaling: static speed x scheduled straggler."""
+        factor = self.host_speed_factors[host]
+        if self.fault_schedule is not None:
+            straggler = self.fault_schedule.straggler_factor(epoch, s, host)
+            if straggler != 1.0:
+                factor *= straggler
+        return factor
+
+    def _recover_crashes(
+        self,
+        epoch: int,
+        s: int,
+        lr: float,
+        crashes,
+        updated_emb: list[BitVector],
+        updated_out: list[BitVector],
+    ) -> int:
+        """Fail-stop recovery for round ``(epoch, s)``; returns pairs replayed.
+
+        Per crashed host: (1) the barrier times out and declares it dead;
+        (2) its replacement restores its own master block from the round
+        checkpoint (stable storage) and every surviving master's block over
+        the network; (3) the lost worklist chunk is replayed on the restored
+        replica.  Replicas hold canonical values at round boundaries under
+        every plan and work generation is a pure function of the seed tree,
+        so the replayed updates are bit-identical to the lost ones.  The
+        modeled recovery time redistributes the replay across the surviving
+        hosts (values come from the sequential execution, wall-clock from
+        the concurrency model, as everywhere in this simulation).
+        """
+        assert self._round_checkpoint is not None and self.fault_report is not None
+        config = self.fault_schedule.config
+        report = self.fault_report
+        ckpt = self._round_checkpoint
+        emb_field = self._fields["embedding"]
+        out_field = self._fields["training"]
+        crashed = {ev.host for ev in crashes}
+        survivors = [h for h in range(self.num_hosts) if h not in crashed]
+        pairs_replayed = 0
+
+        for ev in crashes:
+            h = ev.host
+            report.crashes += 1
+            report.detect_s += config.detect_timeout_s
+
+            # (2a) own master block from the checkpoint — the only copy
+            # that survives the crash.
+            storage_bytes = 0
+            for field_obj, ckpt_arr, bounds in (
+                (emb_field, ckpt.embedding, self.bounds),
+                (out_field, ckpt.training, self.bounds_out),
+            ):
+                lo, hi = int(bounds[h]), int(bounds[h + 1])
+                field_obj.arrays[h][lo:hi] = ckpt_arr[lo:hi]
+                field_obj.bases[h][lo:hi] = ckpt_arr[lo:hi]
+                storage_bytes += (hi - lo) * field_obj.dim * VALUE_BYTES
+            report.checkpoint_restore_bytes += storage_bytes
+            storage_s = storage_bytes / config.restore_bandwidth_Bps
+
+            # (2b) surviving masters stream their canonical blocks (the
+            # recovery phases are priced into recovery time, not regular
+            # communication, by the report builder).
+            net_bytes = self._sync_emb.restore_host(emb_field, h)
+            net_bytes += self._sync_out.restore_host(out_field, h)
+            report.recovery_bytes += net_bytes
+
+            # (3) replay the lost chunk on the restored canonical replica.
+            work = self._pop_work(epoch, s, h)
+            start = time.perf_counter()
+            _loss, pairs = work.apply(
+                emb_field.arrays[h],
+                out_field.arrays[h],
+                lr,
+                self.params.batch_pairs,
+                compute_loss=self.compute_loss,
+            )
+            replay_measured = time.perf_counter() - start
+            pairs_replayed += pairs
+            if work.embedding_access.size:
+                updated_emb[h].set_many(work.embedding_access)
+            if work.output_access.size:
+                updated_out[h].set_many(work.output_access)
+
+            # Timing: the doomed attempt burned part of the round's compute
+            # on the dead host; the replay is redistributed across the
+            # survivors (or runs on the restarted host when there are none).
+            own_factor = self._time_factor(epoch, s, h)
+            self.metrics.record_compute(
+                h, ev.loss_fraction * replay_measured * own_factor
+            )
+            if survivors:
+                replay_s = (
+                    replay_measured
+                    * max(self._time_factor(epoch, s, sv) for sv in survivors)
+                    / len(survivors)
+                )
+            else:
+                replay_s = replay_measured * own_factor
+            report.replay_s += replay_s
+            report.restore_s += storage_s
+            self.metrics.record_recovery(
+                h, config.detect_timeout_s + storage_s + replay_s
+            )
+        return pairs_replayed
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -389,27 +615,28 @@ class GraphWord2Vec:
         )
 
     def save_checkpoint(self) -> bytes:
-        """Serialize the canonical model and epoch progress.
+        """Serialize the canonical model and training progress.
 
-        Checkpoints are epoch-granular: training resumed from one replays
-        the remaining epochs exactly (work generation is a pure function of
-        the seed tree).  Communication/compute accounting restarts at
-        resume, so a resumed run's report covers only post-resume work.
+        Checkpoints are round-granular: training resumed from one replays
+        the remaining rounds exactly (work generation is a pure function of
+        the seed tree), including from mid-epoch boundaries reached via
+        ``train(until_round=...)``.  Communication/compute accounting
+        restarts at resume, so a resumed run's report covers only
+        post-resume work.
         """
-        import io
-
         model = self.canonical_model()
-        buf = io.BytesIO()
-        np.savez_compressed(
-            buf,
-            embedding=model.embedding,
-            training=model.training,
-            completed_epochs=np.int64(self._completed_epochs),
-            fingerprint=np.frombuffer(
-                self._config_fingerprint().encode(), dtype=np.uint8
-            ),
+        return save_checkpoint_blob(
+            CheckpointState(
+                embedding=model.embedding,
+                training=model.training,
+                completed_epochs=self._completed_epochs,
+                completed_rounds=self._completed_rounds,
+                partial_pairs=self._partial_pairs,
+                pairs_total=self._pairs_total,
+                epoch_pairs=list(self._epoch_pairs),
+                fingerprint=self._config_fingerprint(),
+            )
         )
-        return buf.getvalue()
 
     def load_checkpoint(self, blob: bytes) -> int:
         """Restore a checkpoint into this trainer; returns the next epoch.
@@ -420,26 +647,24 @@ class GraphWord2Vec:
         post-sync state for the RepModel plans and is a valid (fully
         refreshed) state for PullModel.
         """
-        import io
-
-        with np.load(io.BytesIO(blob)) as data:
-            fingerprint = bytes(data["fingerprint"]).decode()
-            if fingerprint != self._config_fingerprint():
-                raise ValueError(
-                    "checkpoint belongs to a different training configuration"
-                )
-            embedding = data["embedding"]
-            training = data["training"]
-            completed = int(data["completed_epochs"])
+        state = load_checkpoint_blob(blob)
+        if state.fingerprint != self._config_fingerprint():
+            raise ValueError(
+                "checkpoint belongs to a different training configuration"
+            )
         for h in range(self.num_hosts):
-            np.copyto(self._fields["embedding"].arrays[h], embedding)
-            np.copyto(self._fields["embedding"].bases[h], embedding)
-            np.copyto(self._fields["training"].arrays[h], training)
-            np.copyto(self._fields["training"].bases[h], training)
-        self._completed_epochs = completed
+            np.copyto(self._fields["embedding"].arrays[h], state.embedding)
+            np.copyto(self._fields["embedding"].bases[h], state.embedding)
+            np.copyto(self._fields["training"].arrays[h], state.training)
+            np.copyto(self._fields["training"].bases[h], state.training)
+        self._completed_epochs = state.completed_epochs
+        self._completed_rounds = state.completed_rounds
+        self._partial_pairs = state.partial_pairs
+        self._pairs_total = state.pairs_total
+        self._epoch_pairs = list(state.epoch_pairs)
         self._work_cache.clear()
         self._epoch_chunks_cache.clear()
-        return completed
+        return state.completed_epochs
 
     # ------------------------------------------------------------------
     # Model assembly

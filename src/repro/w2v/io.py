@@ -1,4 +1,4 @@
-"""Interchange with the classic word2vec text format.
+"""Model interchange: word2vec text format and training checkpoints.
 
 word2vec.c, gensim and most embedding tooling exchange vectors as
 
@@ -9,10 +9,20 @@ word2vec.c, gensim and most embedding tooling exchange vectors as
 These helpers write a trained model's embedding layer in that format and
 read such files back, so embeddings trained here can be consumed by (or
 compared against) external tools, and vice versa.
+
+The module also owns the *checkpoint* wire format used by
+:meth:`repro.w2v.distributed.GraphWord2Vec.save_checkpoint`.  Checkpoints
+are **round-granular**: they record the canonical model at a
+synchronization-round boundary plus the ``(completed_epochs,
+completed_rounds)`` cursor and pair-accounting state, so a run killed
+mid-epoch resumes exactly (work generation is a pure function of the seed
+tree).  The same state is what crash recovery restores from (see
+:mod:`repro.cluster.faults`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TextIO
 
 import numpy as np
@@ -20,7 +30,13 @@ import numpy as np
 from repro.text.vocab import Vocabulary
 from repro.w2v.model import Word2VecModel
 
-__all__ = ["save_word2vec_text", "load_word2vec_text"]
+__all__ = [
+    "save_word2vec_text",
+    "load_word2vec_text",
+    "CheckpointState",
+    "save_checkpoint_blob",
+    "load_checkpoint_blob",
+]
 
 
 def save_word2vec_text(
@@ -62,6 +78,72 @@ def save_word2vec_text(
     finally:
         if close:
             handle.close()
+
+
+@dataclass
+class CheckpointState:
+    """Everything a checkpoint carries, decoded.
+
+    ``completed_rounds`` counts synchronization rounds finished inside the
+    *current* (uncounted) epoch; ``partial_pairs`` are the training pairs
+    those rounds processed, so a resumed run's per-epoch pair accounting
+    matches an uninterrupted one.
+    """
+
+    embedding: np.ndarray
+    training: np.ndarray
+    completed_epochs: int
+    completed_rounds: int = 0
+    partial_pairs: int = 0
+    pairs_total: int = 0
+    epoch_pairs: list[int] = field(default_factory=list)
+    fingerprint: str = ""
+
+    @property
+    def model(self) -> Word2VecModel:
+        return Word2VecModel(self.embedding, self.training)
+
+
+def save_checkpoint_blob(state: CheckpointState) -> bytes:
+    """Serialize a :class:`CheckpointState` (compressed ``.npz`` container)."""
+    import io
+
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf,
+        embedding=state.embedding,
+        training=state.training,
+        completed_epochs=np.int64(state.completed_epochs),
+        completed_rounds=np.int64(state.completed_rounds),
+        partial_pairs=np.int64(state.partial_pairs),
+        pairs_total=np.int64(state.pairs_total),
+        epoch_pairs=np.asarray(state.epoch_pairs, dtype=np.int64),
+        fingerprint=np.frombuffer(state.fingerprint.encode(), dtype=np.uint8),
+    )
+    return buf.getvalue()
+
+
+def load_checkpoint_blob(blob: bytes) -> CheckpointState:
+    """Decode a checkpoint produced by :func:`save_checkpoint_blob`.
+
+    Epoch-granular blobs from before round-granular checkpointing decode
+    with a zero round cursor (they were taken at epoch boundaries).
+    """
+    import io
+
+    with np.load(io.BytesIO(blob)) as data:
+        return CheckpointState(
+            embedding=data["embedding"],
+            training=data["training"],
+            completed_epochs=int(data["completed_epochs"]),
+            completed_rounds=int(data["completed_rounds"]) if "completed_rounds" in data else 0,
+            partial_pairs=int(data["partial_pairs"]) if "partial_pairs" in data else 0,
+            pairs_total=int(data["pairs_total"]) if "pairs_total" in data else 0,
+            epoch_pairs=(
+                [int(p) for p in data["epoch_pairs"]] if "epoch_pairs" in data else []
+            ),
+            fingerprint=bytes(data["fingerprint"]).decode(),
+        )
 
 
 def load_word2vec_text(source: TextIO | str) -> tuple[list[str], np.ndarray]:

@@ -1,6 +1,7 @@
 import json
 
 import numpy as np
+import pytest
 
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.network import NetworkModel
@@ -68,6 +69,69 @@ class TestBuildChromeTrace:
         events = build_chrome_trace(metrics, net.phase_records, NetworkModel())
         comm = [e for e in events if e.get("cat") == "communication"]
         assert all(e["args"]["bytes"] > 0 for e in comm)
+
+
+class TestTraceMetricsContract:
+    """The trace consumes only ClusterMetrics' public read-only accessors."""
+
+    def test_accessors_expose_round_history(self):
+        metrics = ClusterMetrics(2)
+        metrics.begin_round()
+        metrics.record_compute(0, 0.1)
+        metrics.record_inspection(1, 0.05)
+        metrics.record_recovery(0, 0.2)
+        metrics.end_round()
+        assert len(metrics.compute_rounds) == 1
+        assert metrics.compute_rounds[0].tolist() == [0.1, 0.0]
+        assert metrics.inspection_rounds[0].tolist() == [0.0, 0.05]
+        assert metrics.recovery_rounds[0].tolist() == [0.2, 0.0]
+        # Views are read-only: the trace builder cannot corrupt the metrics.
+        for rounds in (
+            metrics.compute_rounds,
+            metrics.inspection_rounds,
+            metrics.recovery_rounds,
+        ):
+            assert not rounds[0].flags.writeable
+
+    def test_trace_matches_accessor_data(self):
+        metrics = ClusterMetrics(2)
+        net = SimulatedNetwork(2)
+        run_fake_round(metrics, net, compute=(0.1, 0.3))
+        events = build_chrome_trace(metrics, net.phase_records, NetworkModel())
+        compute = sorted(
+            (e for e in events if e.get("cat") == "compute"), key=lambda e: e["tid"]
+        )
+        for host, event in enumerate(compute):
+            assert event["dur"] == metrics.compute_rounds[0][host] * 1e6
+
+    def test_recovery_spans_rendered_and_stall_barrier(self):
+        metrics = ClusterMetrics(2)
+        net = SimulatedNetwork(2)
+        metrics.begin_round()
+        metrics.record_compute(0, 0.1)
+        metrics.record_compute(1, 0.2)
+        metrics.record_recovery(1, 0.5)
+        with net.phase("reduce:f"):
+            net.send(0, 1, 1000)
+        net.drain(1)
+        metrics.end_round()
+        events = build_chrome_trace(metrics, net.phase_records, NetworkModel())
+        recovery = [e for e in events if e.get("cat") == "recovery"]
+        assert len(recovery) == 1
+        assert recovery[0]["tid"] == 1
+        assert recovery[0]["dur"] == pytest.approx(0.5 * 1e6)
+        # Recovery starts at the compute barrier (slowest host: 0.2s) ...
+        assert recovery[0]["ts"] == pytest.approx(0.2 * 1e6)
+        # ... and communication waits for it.
+        comm = [e for e in events if e.get("cat") == "communication"]
+        assert min(c["ts"] for c in comm) >= (0.2 + 0.5) * 1e6 - 1
+
+    def test_fault_free_trace_has_no_recovery_spans(self):
+        metrics = ClusterMetrics(2)
+        net = SimulatedNetwork(2)
+        run_fake_round(metrics, net)
+        events = build_chrome_trace(metrics, net.phase_records, NetworkModel())
+        assert not [e for e in events if e.get("cat") == "recovery"]
 
 
 class TestTraceJson:

@@ -33,6 +33,7 @@ def test_examples_exist():
         "graph_analytics.py",
         "custom_corpus.py",
         "node_embeddings.py",
+        "fault_injection.py",
     } <= names
 
 
@@ -53,3 +54,11 @@ def test_scaling_and_plans_example():
 def test_custom_corpus_example():
     out = run_example("custom_corpus.py")
     assert "royalty cluster recovered" in out
+
+
+@pytest.mark.slow
+@pytest.mark.faults
+def test_fault_injection_example():
+    out = run_example("fault_injection.py")
+    assert "bitwise identical to the fault-free run" in out
+    assert "pinned-schedule run matches too" in out

@@ -85,3 +85,85 @@ class TestCheckpoint:
             b = make(corpus)
             b.load_checkpoint(a.save_checkpoint())
             assert b.train().model == straight, f"boundary {boundary}"
+
+
+class TestRoundGranularCheckpoint:
+    """A run killed at an arbitrary *round* boundary resumes exactly."""
+
+    def test_until_round_pauses_mid_epoch(self, corpus):
+        trainer = make(corpus)
+        S = trainer.sync_rounds
+        kill_at = S + S // 2  # strictly inside epoch 1
+        trainer.train(until_round=kill_at)
+        assert trainer._completed_epochs == 1
+        assert trainer._completed_rounds == kill_at - S
+
+    @pytest.mark.parametrize("plan", ["opt", "naive", "pull"])
+    def test_mid_epoch_resume_reproduces_uninterrupted_run(self, corpus, plan):
+        straight = make(corpus, plan=plan).train()
+
+        first = make(corpus, plan=plan)
+        S = first.sync_rounds
+        first.train(until_round=S + S // 2)
+        blob = first.save_checkpoint()
+
+        resumed = make(corpus, plan=plan)
+        resumed.load_checkpoint(blob)
+        final = resumed.train()
+        assert final.model == straight.model
+        assert final.epoch_pairs == straight.epoch_pairs
+        assert final.report.pairs_processed == straight.report.pairs_processed
+
+    def test_resume_at_every_round_of_first_epoch(self, corpus):
+        probe = make(corpus)
+        S = probe.sync_rounds
+        straight = make(corpus).train().model
+        for kill_at in range(1, S + 1):
+            a = make(corpus)
+            a.train(until_round=kill_at)
+            b = make(corpus)
+            b.load_checkpoint(a.save_checkpoint())
+            assert b.train().model == straight, f"killed at round {kill_at}"
+
+    def test_double_pause_same_trainer(self, corpus):
+        straight = make(corpus).train().model
+        trainer = make(corpus)
+        S = trainer.sync_rounds
+        trainer.train(until_round=S // 2)
+        trainer.train(until_round=2 * S + 1)
+        assert trainer.train().model == straight
+
+    def test_pair_accounting_survives_resume(self, corpus):
+        straight = make(corpus).train()
+        a = make(corpus)
+        a.train(until_round=a.sync_rounds + 2)
+        b = make(corpus)
+        b.load_checkpoint(a.save_checkpoint())
+        result = b.train()
+        assert sum(result.epoch_pairs) == sum(straight.epoch_pairs)
+        assert result.epoch_pairs == straight.epoch_pairs
+
+    def test_epoch_granular_blob_still_loads(self, corpus):
+        """Blobs without a round cursor (the old format) decode cleanly."""
+        import io
+
+        import numpy as np
+
+        trainer = make(corpus)
+        trainer.train(until_epoch=2)
+        model = trainer.canonical_model()
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            embedding=model.embedding,
+            training=model.training,
+            completed_epochs=np.int64(2),
+            fingerprint=np.frombuffer(
+                trainer._config_fingerprint().encode(), dtype=np.uint8
+            ),
+        )
+        fresh = make(corpus)
+        assert fresh.load_checkpoint(buf.getvalue()) == 2
+        assert fresh._completed_rounds == 0
+        straight = make(corpus).train().model
+        assert fresh.train().model == straight
