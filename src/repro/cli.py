@@ -52,6 +52,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("--seed", type=int, default=7)
     train.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "thread-pool width for the compute phase; with --hosts > 1 the "
+            "simulated hosts overlap on real cores (results bit-identical "
+            "to serial), with --hosts 1 training is Hogwild-style "
+            "(deterministic pair counts, racy vectors). Default: serial, or "
+            "the REPRO_WORKERS environment variable for multi-host runs."
+        ),
+    )
+    train.add_argument(
         "--faults",
         metavar="SPEC",
         help=(
@@ -143,9 +156,14 @@ def _cmd_train(args) -> int:
         except ValueError as exc:
             print(f"error: invalid --faults spec: {exc}", file=sys.stderr)
             return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
     print(f"training on {corpus} with {params}")
     if args.hosts == 1:
-        model = SharedMemoryWord2Vec(corpus, params, seed=args.seed).train()
+        model = SharedMemoryWord2Vec(
+            corpus, params, seed=args.seed, workers=args.workers
+        ).train()
     else:
         trainer = GraphWord2Vec(
             corpus,
@@ -156,6 +174,7 @@ def _cmd_train(args) -> int:
             plan=args.plan,
             seed=args.seed,
             faults=fault_config,
+            workers=args.workers,
         )
         result = trainer.train()
         model = result.model

@@ -40,9 +40,13 @@ class TimeBreakdown:
 class ClusterMetrics:
     """Collects per-round per-host compute measurements.
 
-    Hosts run sequentially in the simulation; a real cluster runs them
-    concurrently, so each BSP round's compute contributes its *maximum*
-    per-host time to the modeled wall clock.
+    A real cluster runs hosts concurrently, so each BSP round's compute
+    contributes its *maximum* per-host time to the modeled wall clock.  The
+    trainer feeds this with per-thread CPU time (``time.thread_time``), not
+    wall time: whether the simulator executes hosts serially or overlaps
+    them on real cores (``GraphWord2Vec(workers=...)``), the recorded
+    per-host seconds — and hence every modeled figure derived here — stay
+    contention-independent and comparable across executors.
     """
 
     def __init__(self, num_hosts: int):

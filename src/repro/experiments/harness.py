@@ -78,8 +78,11 @@ def run_shared_memory(
     params: Word2VecParams,
     seed: int = DEFAULT_SEED,
     epoch_hook: Callable[[int, Word2VecModel], None] | None = None,
+    workers: int | None = None,
 ) -> TimedRun:
-    trainer = SharedMemoryWord2Vec(corpus, params, seed=seed)
+    """``workers`` > 1 trains Hogwild-style on a thread pool (see
+    :class:`~repro.w2v.shared_memory.SharedMemoryWord2Vec`)."""
+    trainer = SharedMemoryWord2Vec(corpus, params, seed=seed, workers=workers)
     start = time.perf_counter()
     model = trainer.train(epoch_hook)
     return TimedRun("SM", model, time.perf_counter() - start)
@@ -117,7 +120,11 @@ def run_distributed(
     plan: str = "opt",
     seed: int = DEFAULT_SEED,
     epoch_hook: Callable[[int, Word2VecModel], None] | None = None,
+    workers: int | None = None,
 ) -> TimedRun:
+    """``workers`` > 1 overlaps the simulated hosts on real cores; the
+    trained model and the modeled times are bit-identical to ``workers=1``
+    (only the real wall-clock of the simulation changes)."""
     trainer = GraphWord2Vec(
         corpus,
         params,
@@ -126,6 +133,7 @@ def run_distributed(
         combiner=combiner,
         plan=plan,
         seed=seed,
+        workers=workers,
     )
     start = time.perf_counter()
     # Large-learning-rate divergence (AVG at lr*H) legitimately overflows

@@ -9,7 +9,15 @@ operator code is written once, Galois-style.
 """
 
 from repro.galois.worklist import ChunkedLIFO, ChunkedWorklist, OrderedByIntegerMetric
-from repro.galois.do_all import DoAllExecutor, SerialExecutor, ThreadPoolDoAll, do_all
+from repro.galois.do_all import (
+    DoAllError,
+    DoAllExecutor,
+    SerialExecutor,
+    ThreadPoolDoAll,
+    do_all,
+    executor_from_env,
+    resolve_executor,
+)
 from repro.galois.accumulators import GAccumulator, GReduceMax, GReduceMin
 from repro.galois.timers import StatTimer, TimerRegistry
 
@@ -17,10 +25,13 @@ __all__ = [
     "ChunkedWorklist",
     "ChunkedLIFO",
     "OrderedByIntegerMetric",
+    "DoAllError",
     "DoAllExecutor",
     "SerialExecutor",
     "ThreadPoolDoAll",
     "do_all",
+    "executor_from_env",
+    "resolve_executor",
     "GAccumulator",
     "GReduceMax",
     "GReduceMin",

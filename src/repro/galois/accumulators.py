@@ -2,8 +2,17 @@
 
 Operators running under ``do_all`` report statistics (pairs processed, loss,
 max degree seen, ...) through accumulators that support thread-local update
-and a final reduction.  The thread-pool executor gives each thread its own
-slot; reads reduce across slots.
+and a final reduction.  Correctness under :class:`~repro.galois.do_all.
+ThreadPoolDoAll` rests on a strict single-writer discipline: every cell is
+written only by the thread that owns it, so ``update`` never performs a
+read-modify-write on shared state (the classic ``+=``-on-a-shared-value race
+that silently undercounts).  ``reset`` used to violate that discipline by
+zeroing other threads' cells from the caller — concurrent with an owner's
+``cell = op(cell, value)`` it could lose either the reset or the update.  It
+now bumps a generation counter instead; each owner lazily discards its own
+stale cell, and ``reduce`` ignores cells from previous generations.  The
+design therefore does not lean on the GIL and a persistent pool can keep the
+same accumulator across many ``run`` calls and resets.
 """
 
 from __future__ import annotations
@@ -16,41 +25,61 @@ T = TypeVar("T")
 __all__ = ["GAccumulator", "GReduceMax", "GReduceMin"]
 
 
+class _Cell(Generic[T]):
+    """One thread's slot: the running value plus the reset generation it
+    belongs to.  Written only by the owning thread (single-writer)."""
+
+    __slots__ = ("value", "generation")
+
+    def __init__(self, value: T, generation: int):
+        self.value = value
+        self.generation = generation
+
+
 class _Reducible(Generic[T]):
-    """Thread-local slots + associative reduction."""
+    """Thread-local single-writer cells + associative reduction."""
 
     def __init__(self, identity: T, op: Callable[[T, T], T]):
         self._identity = identity
         self._op = op
         self._local = threading.local()
-        self._slots: list[list[T]] = []
+        self._cells: list[_Cell[T]] = []
         self._lock = threading.Lock()
+        self._generation = 0
 
-    def _slot(self) -> list[T]:
-        slot = getattr(self._local, "slot", None)
-        if slot is None:
-            slot = [self._identity]
-            self._local.slot = slot
+    def _cell(self) -> _Cell[T]:
+        cell: _Cell[T] | None = getattr(self._local, "cell", None)
+        generation = self._generation
+        if cell is None:
+            cell = _Cell(self._identity, generation)
+            self._local.cell = cell
             with self._lock:
-                self._slots.append(slot)
-        return slot
+                self._cells.append(cell)
+        elif cell.generation != generation:
+            # A reset happened since this thread last wrote; discard our own
+            # stale value.  Only the owner writes, so no cross-thread race.
+            cell.value = self._identity
+            cell.generation = generation
+        return cell
 
     def update(self, value: T) -> None:
-        slot = self._slot()
-        slot[0] = self._op(slot[0], value)
+        cell = self._cell()
+        cell.value = self._op(cell.value, value)
 
     def reduce(self) -> T:
+        generation = self._generation
         with self._lock:
-            values = [s[0] for s in self._slots]
+            values = [c.value for c in self._cells if c.generation == generation]
         out = self._identity
         for v in values:
             out = self._op(out, v)
         return out
 
     def reset(self) -> None:
+        """Invalidate all cells.  Safe against concurrent ``update`` calls:
+        owners re-zero their own cell on their next update."""
         with self._lock:
-            for slot in self._slots:
-                slot[0] = self._identity
+            self._generation += 1
 
 
 class GAccumulator(_Reducible[float]):

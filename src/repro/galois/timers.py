@@ -9,29 +9,38 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 __all__ = ["StatTimer", "TimerRegistry"]
 
 
 @dataclass
 class StatTimer:
-    """Accumulating region timer; safe to start/stop repeatedly."""
+    """Accumulating region timer; safe to start/stop repeatedly.
+
+    ``clock`` selects the time source: wall clock by default
+    (``time.perf_counter``), or e.g. ``time.thread_time`` for
+    contention-independent CPU measurement of regions that may share the
+    machine with other worker threads.  Start and stop must be called on
+    the same thread when a per-thread clock is used.
+    """
 
     name: str
     total: float = 0.0
     count: int = 0
+    clock: Callable[[], float] = field(default=time.perf_counter, repr=False)
     _started: float | None = field(default=None, repr=False)
 
     def start(self) -> "StatTimer":
         if self._started is not None:
             raise RuntimeError(f"timer {self.name!r} already running")
-        self._started = time.perf_counter()
+        self._started = self.clock()
         return self
 
     def stop(self) -> float:
         if self._started is None:
             raise RuntimeError(f"timer {self.name!r} is not running")
-        elapsed = time.perf_counter() - self._started
+        elapsed = self.clock() - self._started
         self._started = None
         self.total += elapsed
         self.count += 1

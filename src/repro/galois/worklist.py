@@ -55,16 +55,30 @@ class ChunkedWorklist(Generic[T]):
         self._items.extend(items)
 
     def pop_chunk(self) -> list[T]:
-        """Remove and return the next chunk (possibly short, empty at end)."""
+        """Remove and return the next chunk (possibly short, empty at end).
+
+        Consumed items are *released*: once the consumed prefix dominates the
+        backing list it is deleted (amortized O(1)), so a worklist drained
+        chunk-by-chunk does not pin the whole corpus's sentences for the rest
+        of the run.
+        """
         chunk = self._items[self._cursor : self._cursor + self.chunk_size]
         self._cursor += len(chunk)
+        if self._cursor >= self.chunk_size and self._cursor * 2 >= len(self._items):
+            del self._items[: self._cursor]
+            self._cursor = 0
         return chunk
 
     def empty(self) -> bool:
         return self._cursor >= len(self._items)
 
     def reset(self) -> None:
-        """Rewind the cursor so all items are pending again (next epoch)."""
+        """Rewind the cursor to the oldest *retained* item.
+
+        Items whose memory :meth:`pop_chunk` already released cannot be
+        restored — build a fresh worklist for a new epoch (cheap: items are
+        held by reference).
+        """
         self._cursor = 0
 
     def shuffle(self, rng: np.random.Generator) -> None:

@@ -67,6 +67,12 @@ class BitVector:
         idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
         if idx.size == 0:
             return
+        if not np.issubdtype(idx.dtype, np.integer):
+            # A float (or bool) array would be silently truncated by the
+            # int64 cast below, setting the wrong bits; refuse it instead.
+            raise TypeError(
+                f"set_many requires integer indices, got dtype {idx.dtype}"
+            )
         idx = idx.astype(np.int64, copy=False)
         if idx.min() < 0 or idx.max() >= self.size:
             raise IndexError(

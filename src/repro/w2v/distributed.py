@@ -58,6 +58,13 @@ from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.network import NetworkModel, SCALED_DEFAULT
 from repro.cluster.simulator import DistributedRunReport
 from repro.core.combiners import GradientCombiner, get_combiner
+from repro.galois.do_all import (
+    DoAllExecutor,
+    SerialExecutor,
+    do_all,
+    executor_from_env,
+    resolve_executor,
+)
 from repro.gluon.bitvector import BitVector
 from repro.gluon.comm import VALUE_BYTES, SimulatedNetwork
 from repro.gluon.partitioner import replicate_all_partitions
@@ -111,8 +118,22 @@ class GraphWord2Vec:
         compute_loss: bool = False,
         host_speed_factors: list[float] | None = None,
         faults: FaultConfig | FaultSchedule | None = None,
+        executor: DoAllExecutor | None = None,
+        workers: int | None = None,
     ):
-        """``host_speed_factors`` models a heterogeneous cluster: host h's
+        """``executor``/``workers`` choose how the per-host compute (and
+        PullModel inspection) phases execute: pass a
+        :class:`~repro.galois.do_all.DoAllExecutor`, or ``workers=N`` to get
+        a private :class:`~repro.galois.do_all.ThreadPoolDoAll` (``N=1`` =
+        serial); at most one of the two.  When neither is given the
+        ``REPRO_WORKERS`` environment variable is consulted, else execution
+        is serial.  Per-host replicas are disjoint arrays, so the trained
+        model is *bit-identical* under every executor — parallelism changes
+        only the real wall-clock, never results or the modeled timing
+        (per-host compute is measured with ``time.thread_time``, which is
+        contention-independent).
+
+        ``host_speed_factors`` models a heterogeneous cluster: host h's
         measured compute time is scaled by factor[h] (>1 = slower host)
         before entering the BSP timing model, whose per-round max then
         shows the straggler effect.  Training results are unaffected —
@@ -159,6 +180,10 @@ class GraphWord2Vec:
         self.host_speed_factors = (
             [1.0] * num_hosts if host_speed_factors is None else list(host_speed_factors)
         )
+        resolved = resolve_executor(executor, workers)
+        if resolved is None:
+            resolved = executor_from_env()
+        self.executor: DoAllExecutor = resolved or SerialExecutor()
         self._seeds = SeedSequenceTree(seed if seed is not None else 0)
 
         # Fault injection: the schedule is a pure function of the seed tree,
@@ -279,9 +304,13 @@ class GraphWord2Vec:
                 rounds.append(sentences[start : start + size])
                 start += size
             per_host.append(rounds)
-        # Only the current and next epoch are ever needed.
+        # Only the current and next epoch are ever needed: by the time epoch
+        # ``e`` is requested (compute of ``e``, or PullModel inspection of
+        # ``e`` from the last round of ``e-1``), epochs ``< e`` can never be
+        # asked for again — drop them so their shuffled sentence lists don't
+        # pin dead corpus memory for the rest of the run.
         self._epoch_chunks_cache = {
-            k: v for k, v in self._epoch_chunks_cache.items() if k >= epoch - 1
+            k: v for k, v in self._epoch_chunks_cache.items() if k >= epoch
         }
         self._epoch_chunks_cache[epoch] = per_host
         return per_host
@@ -296,22 +325,31 @@ class GraphWord2Vec:
         key = (epoch, round_index, host)
         work = self._work_cache.get(key)
         if work is None:
-            sentences = self._epoch_chunks(epoch)[host][round_index]
-            rng = (
-                self._seeds.subtree("epoch", epoch)
-                .subtree("round", round_index)
-                .child("pairs", host)
-            )
-            work = build_round_work(
-                sentences,
-                params=self.params,
-                keep_prob=self._keep_prob,
-                table=self._table,
-                tree=self._tree,
-                rng=rng,
-            )
+            work = self._build_work(epoch, round_index, host)
             self._work_cache[key] = work
         return work
+
+    def _build_work(self, epoch: int, round_index: int, host: int) -> RoundWork:
+        """Generate one slot's work, bypassing the memo cache.
+
+        A pure function of the seed tree (given materialized epoch chunks),
+        so concurrent calls for distinct hosts are safe — the parallel
+        inspection phase relies on this.
+        """
+        sentences = self._epoch_chunks(epoch)[host][round_index]
+        rng = (
+            self._seeds.subtree("epoch", epoch)
+            .subtree("round", round_index)
+            .child("pairs", host)
+        )
+        return build_round_work(
+            sentences,
+            params=self.params,
+            keep_prob=self._keep_prob,
+            table=self._table,
+            tree=self._tree,
+            rng=rng,
+        )
 
     def _pop_work(self, epoch: int, round_index: int, host: int) -> RoundWork:
         work = self._get_work(epoch, round_index, host)
@@ -414,23 +452,39 @@ class GraphWord2Vec:
         updated_emb = [BitVector(V) for _ in range(self.num_hosts)]
         updated_out = [BitVector(O) for _ in range(self.num_hosts)]
 
-        # -- compute phase (hosts run concurrently on a cluster; we
-        #    execute them one after another and keep per-host time).
-        base_times: list[float] = []
-        slow_times: list[float] = []
-        for host in range(self.num_hosts):
-            if host in crashed_hosts:
-                continue  # fails mid-chunk; recovery below replays it
-            work = self._pop_work(epoch, s, host)
-            start = time.perf_counter()
-            _loss, pairs = work.apply(
+        # -- compute phase (hosts run concurrently on a cluster; the
+        #    executor mirrors that on real cores).  Work generation stays
+        #    serial — it mutates the shared caches — then the kernels run
+        #    under the executor on *disjoint* per-host replica arrays, and
+        #    the accounting folds serially in host order.  Results and
+        #    metrics are therefore bit-identical to SerialExecutor under
+        #    any executor and any thread schedule.
+        live_hosts = [h for h in range(self.num_hosts) if h not in crashed_hosts]
+        works = {h: self._pop_work(epoch, s, h) for h in live_hosts}
+        compute_slots: list[tuple[float, int] | None] = [None] * self.num_hosts
+
+        def compute_host(host: int) -> None:
+            # thread_time = this thread's CPU time: the measurement feeding
+            # the timing model stays contention-independent, so reported
+            # per-host times do not change just because the simulator itself
+            # runs hosts concurrently.
+            start = time.thread_time()
+            _loss, pairs = works[host].apply(
                 emb_field.arrays[host],
                 out_field.arrays[host],
                 lr,
                 params.batch_pairs,
                 compute_loss=self.compute_loss,
             )
-            measured = time.perf_counter() - start
+            compute_slots[host] = (time.thread_time() - start, pairs)
+
+        do_all(live_hosts, compute_host, executor=self.executor)
+
+        base_times: list[float] = []
+        slow_times: list[float] = []
+        for host in live_hosts:
+            measured, pairs = compute_slots[host]
+            work = works[host]
             self.metrics.record_compute(
                 host, measured * self._time_factor(epoch, s, host)
             )
@@ -456,31 +510,51 @@ class GraphWord2Vec:
             )
 
         # -- inspection phase (PullModel): generate the next round's
-        #    edges to learn which nodes each host will access.
+        #    edges to learn which nodes each host will access.  Example
+        #    generation is a pure function of the seed tree, so hosts
+        #    inspect concurrently under the executor; the shared caches are
+        #    touched only serially (chunk shuffle before, memoization after).
         accessed_emb = accessed_out = None
         if self.plan.requires_access_sets:
             accessed_emb, accessed_out = [], []
             next_slot = self._next_slot(epoch, s)
-            for host in range(self.num_hosts):
-                if next_slot is None:
-                    empty = np.empty(0, dtype=np.int64)
-                    accessed_emb.append(empty)
-                    accessed_out.append(empty)
-                    continue
-                start = time.perf_counter()
-                next_work = self._get_work(*next_slot, host)
-                self.metrics.record_inspection(
-                    host, time.perf_counter() - start
+            if next_slot is None:
+                empty = np.empty(0, dtype=np.int64)
+                accessed_emb = [empty] * self.num_hosts
+                accessed_out = [empty] * self.num_hosts
+            else:
+                self._epoch_chunks(next_slot[0])  # materialize serially
+                inspect_slots: list[tuple[RoundWork, float] | None] = (
+                    [None] * self.num_hosts
                 )
-                accessed_emb.append(next_work.embedding_access)
-                accessed_out.append(next_work.output_access)
-                self._peak_access_rows = max(
-                    self._peak_access_rows,
-                    int(
-                        next_work.embedding_access.size
-                        + next_work.output_access.size
-                    ),
+
+                def inspect_host(host: int) -> None:
+                    start = time.thread_time()
+                    key = (next_slot[0], next_slot[1], host)
+                    next_work = self._work_cache.get(key)
+                    if next_work is None:
+                        next_work = self._build_work(*next_slot, host)
+                    inspect_slots[host] = (
+                        next_work, time.thread_time() - start
+                    )
+
+                do_all(
+                    range(self.num_hosts), inspect_host, executor=self.executor
                 )
+
+                for host in range(self.num_hosts):
+                    next_work, measured = inspect_slots[host]
+                    self._work_cache[(next_slot[0], next_slot[1], host)] = next_work
+                    self.metrics.record_inspection(host, measured)
+                    accessed_emb.append(next_work.embedding_access)
+                    accessed_out.append(next_work.output_access)
+                    self._peak_access_rows = max(
+                        self._peak_access_rows,
+                        int(
+                            next_work.embedding_access.size
+                            + next_work.output_access.size
+                        ),
+                    )
 
         # -- synchronization (Algorithm 1, line 10).  The inductive
         # fold order rotates with the global round counter so no
@@ -564,9 +638,11 @@ class GraphWord2Vec:
             net_bytes += self._sync_out.restore_host(out_field, h)
             report.recovery_bytes += net_bytes
 
-            # (3) replay the lost chunk on the restored canonical replica.
+            # (3) replay the lost chunk on the restored canonical replica
+            # (thread_time, like the compute phase: recovery cost must not
+            # depend on what else shares the simulator's cores).
             work = self._pop_work(epoch, s, h)
-            start = time.perf_counter()
+            start = time.thread_time()
             _loss, pairs = work.apply(
                 emb_field.arrays[h],
                 out_field.arrays[h],
@@ -574,7 +650,7 @@ class GraphWord2Vec:
                 self.params.batch_pairs,
                 compute_loss=self.compute_loss,
             )
-            replay_measured = time.perf_counter() - start
+            replay_measured = time.thread_time() - start
             pairs_replayed += pairs
             if work.embedding_access.size:
                 updated_emb[h].set_many(work.embedding_access)

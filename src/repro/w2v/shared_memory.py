@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.galois.accumulators import GAccumulator
-from repro.galois.do_all import DoAllExecutor, do_all
+from repro.galois.do_all import DoAllExecutor, do_all, resolve_executor
 from repro.galois.worklist import ChunkedWorklist
 from repro.text.corpus import Corpus
 from repro.text.negative_sampling import UnigramTable
@@ -53,19 +53,24 @@ class SharedMemoryWord2Vec:
         seed: int | None = None,
         compute_loss: bool = False,
         executor: DoAllExecutor | None = None,
+        workers: int | None = None,
     ):
-        """``executor`` enables Galois-style intra-host parallelism.
+        """``executor``/``workers`` enable Galois-style intra-host parallelism.
 
-        With an executor (e.g. :class:`repro.galois.do_all.ThreadPoolDoAll`)
-        worklist chunks are processed Hogwild-style (paper §2.3): example
-        generation is deterministic (per-chunk seed-tree streams) but
-        concurrent scatter-adds race benignly on the shared model, so the
-        result is *not* bit-reproducible across runs.  The default (no
-        executor) is the fully deterministic sequential path."""
+        With an executor (e.g. :class:`repro.galois.do_all.ThreadPoolDoAll`,
+        or the shorthand ``workers=N`` for a private pool; at most one of the
+        two) worklist chunks are processed Hogwild-style (paper §2.3):
+        example generation is deterministic (per-chunk seed-tree streams) —
+        so *pair counts* are exact regardless of executor — but concurrent
+        scatter-adds race benignly on the shared model, so the trained
+        vectors are *not* bit-reproducible across runs.  ``workers=1`` runs
+        the same chunk-scheduled path serially (deterministic, and
+        pair-count-identical to any worker count); the default (no executor,
+        ``workers=None``) is the classic fully sequential path."""
         self.corpus = corpus.split_long_sentences(params.max_sentence_length)
         self.params = params
         self.compute_loss = compute_loss
-        self.executor = executor
+        self.executor = resolve_executor(executor, workers)
         self._seeds = SeedSequenceTree(seed if seed is not None else 0)
         vocab = corpus.vocabulary
         self.model = Word2VecModel.initialize(

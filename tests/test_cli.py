@@ -56,6 +56,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "modeled cluster time" in out
 
+    def test_train_distributed_workers(self, capsys):
+        code = main(
+            [
+                "train", "--dataset", "tiny-sim", "--hosts", "3", "--dim", "16",
+                "--epochs", "1", "--negatives", "4", "--subsample", "1e-2",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "modeled cluster time" in capsys.readouterr().out
+
+    def test_train_hogwild_workers(self, capsys):
+        code = main(
+            [
+                "train", "--dataset", "tiny-sim", "--dim", "16",
+                "--epochs", "1", "--negatives", "4", "--subsample", "1e-2",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "training on" in capsys.readouterr().out
+
+    def test_train_invalid_workers(self, capsys):
+        code = main(
+            ["train", "--dataset", "tiny-sim", "--epochs", "1", "--workers", "0"]
+        )
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
     def test_train_custom_corpus(self, tmp_path, capsys):
         corpus_file = tmp_path / "text.txt"
         corpus_file.write_text(

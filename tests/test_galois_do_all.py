@@ -2,7 +2,14 @@ import threading
 
 import pytest
 
-from repro.galois.do_all import SerialExecutor, ThreadPoolDoAll, do_all
+from repro.galois.do_all import (
+    DoAllError,
+    SerialExecutor,
+    ThreadPoolDoAll,
+    do_all,
+    executor_from_env,
+    resolve_executor,
+)
 
 
 class TestSerialExecutor:
@@ -43,8 +50,129 @@ class TestThreadPoolDoAll:
         with pytest.raises(ValueError):
             ThreadPoolDoAll(workers=0)
 
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            ThreadPoolDoAll(workers=2, chunk_size=0)
+
     def test_empty_items(self):
         ThreadPoolDoAll(workers=2).run([], lambda x: None)
+
+    def test_pool_persists_across_runs(self):
+        pool = ThreadPoolDoAll(workers=2)
+        thread_names = set()
+        lock = threading.Lock()
+
+        def op(_x):
+            with lock:
+                thread_names.add(threading.current_thread().name)
+
+        for _ in range(5):
+            pool.run(list(range(8)), op)
+        # All five runs were served by the same persistent worker threads.
+        assert pool._pool is not None
+        assert len(thread_names) <= 2
+        pool.close()
+
+    def test_close_shuts_down_and_run_raises(self):
+        pool = ThreadPoolDoAll(workers=2)
+        pool.run([1, 2, 3], lambda x: None)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run([1], lambda x: None)
+
+    def test_context_manager_closes(self):
+        with ThreadPoolDoAll(workers=2) as pool:
+            pool.run([1, 2], lambda x: None)
+        assert pool.closed
+
+    def test_dynamic_chunking_covers_all_items(self):
+        # Small explicit chunks + an uneven operator: every item is still
+        # processed exactly once.
+        counts = {}
+        lock = threading.Lock()
+
+        def op(x):
+            if x % 7 == 0:
+                threading.Event().wait(0.001)
+            with lock:
+                counts[x] = counts.get(x, 0) + 1
+
+        ThreadPoolDoAll(workers=3, chunk_size=2).run(list(range(50)), op)
+        assert counts == {i: 1 for i in range(50)}
+
+    def test_multiple_exceptions_aggregate(self):
+        barrier = threading.Barrier(2, timeout=5)
+
+        def boom(x):
+            # Both workers reach their failing item before either raises, so
+            # two exceptions are collected and aggregated.
+            barrier.wait()
+            raise ValueError(f"item {x}")
+
+        with pytest.raises(DoAllError) as info:
+            ThreadPoolDoAll(workers=2, chunk_size=1).run([1, 2], boom)
+        assert len(info.value.causes) == 2
+        assert all(isinstance(c, ValueError) for c in info.value.causes)
+
+    def test_single_exception_keeps_type(self):
+        def boom(x):
+            if x == 3:
+                raise KeyError("three")
+
+        with pytest.raises(KeyError):
+            ThreadPoolDoAll(workers=2).run(list(range(8)), boom)
+
+    def test_failure_stops_remaining_chunks(self):
+        # After a failure, workers stop claiming new chunks; with one lane
+        # and chunk_size=1, items after the failing one are never run.
+        seen = []
+
+        def op(x):
+            seen.append(x)
+            if x == 2:
+                raise RuntimeError("stop")
+
+        with pytest.raises(RuntimeError):
+            ThreadPoolDoAll(workers=2, chunk_size=1).run([0, 1, 2, 3, 4], op)
+        assert 2 in seen
+
+
+class TestExecutorResolution:
+    def test_resolve_rejects_both(self):
+        with pytest.raises(ValueError):
+            resolve_executor(SerialExecutor(), 2)
+
+    def test_resolve_workers_one_is_serial(self):
+        assert isinstance(resolve_executor(None, 1), SerialExecutor)
+
+    def test_resolve_workers_builds_pool(self):
+        ex = resolve_executor(None, 3)
+        assert isinstance(ex, ThreadPoolDoAll)
+        assert ex.workers == 3
+
+    def test_resolve_none_none(self):
+        assert resolve_executor(None, None) is None
+
+    def test_env_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert executor_from_env() is None
+
+    def test_env_one_means_serial_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert executor_from_env() is None
+
+    def test_env_pool_is_shared(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        a = executor_from_env()
+        b = executor_from_env()
+        assert isinstance(a, ThreadPoolDoAll)
+        assert a is b
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError):
+            executor_from_env()
 
 
 class TestDoAll:

@@ -27,12 +27,41 @@ class TestChunkedWorklist:
         wl.push_many([3, 4])
         assert list(wl) == [2, 3, 4]
 
-    def test_reset_rewinds(self):
+    def test_pop_chunk_releases_consumed_items(self):
+        # Draining the worklist must not pin consumed items: the backing
+        # list shrinks as chunks are popped instead of holding the whole
+        # corpus behind an advancing cursor.
+        wl = ChunkedWorklist(range(100), chunk_size=10)
+        for _ in range(9):
+            wl.pop_chunk()
+        assert len(wl) == 10
+        assert len(wl._items) <= 20  # consumed prefix was compacted away
+        assert wl.pop_chunk() == list(range(90, 100))
+        assert wl.empty()
+        assert wl._items == []
+
+    def test_pop_chunk_order_unchanged_by_compaction(self):
+        wl = ChunkedWorklist(range(25), chunk_size=4)
+        popped = []
+        while not wl.empty():
+            popped.extend(wl.pop_chunk())
+        assert popped == list(range(25))
+
+    def test_reset_rewinds_retained_items_only(self):
+        # Released chunks are gone for good; reset only rewinds whatever the
+        # compaction has not yet freed.
         wl = ChunkedWorklist(range(4), chunk_size=4)
         wl.pop_chunk()
         assert wl.empty()
         wl.reset()
-        assert len(wl) == 4
+        assert len(wl) == 0
+
+    def test_reset_before_compaction_restores(self):
+        wl = ChunkedWorklist(range(10), chunk_size=2)
+        wl.pop_chunk()  # cursor 2 of 10: below the compaction threshold
+        wl.reset()
+        assert len(wl) == 10
+        assert wl.pop_chunk() == [0, 1]
 
     def test_shuffle_preserves_multiset(self):
         wl = ChunkedWorklist(range(20), chunk_size=5)

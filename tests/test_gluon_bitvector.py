@@ -63,6 +63,39 @@ class TestBulk:
         bv.set_many([])
         assert bv.count() == 0
 
+    def test_set_many_rejects_float_dtype(self):
+        # A float array used to be silently truncated toward zero by the
+        # int64 cast (e.g. 2.9 -> bit 2); it must be rejected instead.
+        bv = BitVector(10)
+        with pytest.raises(TypeError, match="integer"):
+            bv.set_many(np.array([2.9, 5.0]))
+        assert bv.count() == 0
+
+    def test_set_many_rejects_float_list(self):
+        bv = BitVector(10)
+        with pytest.raises(TypeError, match="integer"):
+            bv.set_many([1.5])
+
+    def test_set_many_rejects_bool_dtype(self):
+        # A boolean mask is not an index array; casting would set bits 0/1.
+        bv = BitVector(10)
+        with pytest.raises(TypeError, match="integer"):
+            bv.set_many(np.array([True, False, True]))
+
+    def test_set_many_accepts_any_integer_dtype(self):
+        bv = BitVector(300)
+        bv.set_many(np.array([3, 9], dtype=np.uint16))
+        bv.set_many(np.array([255], dtype=np.int32))
+        assert bv.indices().tolist() == [3, 9, 255]
+
+    def test_set_many_duplicate_indices_set_once(self):
+        # np.bitwise_or.at must OR every occurrence without losing bits when
+        # the same word appears multiple times in one call.
+        bv = BitVector(128)
+        bv.set_many(np.array([64, 64, 64, 65, 127, 127]))
+        assert bv.indices().tolist() == [64, 65, 127]
+        assert bv.count() == 3
+
     def test_reset(self):
         bv = BitVector.from_indices(50, range(50))
         bv.reset()

@@ -1,0 +1,152 @@
+"""Host-parallel execution of the distributed trainer.
+
+Per-host replicas are disjoint arrays, so running the compute (and PullModel
+inspection) phases under ``ThreadPoolDoAll`` must leave the trained model
+*bit-identical* to ``SerialExecutor`` — unlike intra-host Hogwild, where
+concurrent scatter-adds race on one shared model.  These tests pin that
+invariant across communication plans, under fault injection, and through
+the executor-resolution plumbing (``workers=``, ``REPRO_WORKERS``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import FaultConfig
+from repro.galois.do_all import DoAllExecutor, SerialExecutor, ThreadPoolDoAll
+from repro.text.synthetic import SyntheticCorpusSpec, generate_corpus
+from repro.w2v.distributed import GraphWord2Vec
+from repro.w2v.params import Word2VecParams
+from repro.w2v.shared_memory import SharedMemoryWord2Vec
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    spec = SyntheticCorpusSpec(
+        num_tokens=6000, pairs_per_family=4, filler_vocab=120, questions_per_family=4
+    )
+    return generate_corpus(spec, seed=1)[0]
+
+
+FAST = Word2VecParams(dim=16, epochs=2, negatives=4, window=3, subsample_threshold=1e-2)
+
+
+def train(corpus, *, plan="opt", faults=None, hosts=4, **kwargs):
+    trainer = GraphWord2Vec(
+        corpus,
+        FAST,
+        num_hosts=hosts,
+        plan=plan,
+        seed=11,
+        faults=faults,
+        **kwargs,
+    )
+    result = trainer.train()
+    return trainer, result
+
+
+class TestHostParallelParity:
+    @pytest.mark.parametrize("plan", ["naive", "opt", "pull"])
+    def test_bit_identical_across_executors(self, corpus, plan):
+        _, serial = train(corpus, plan=plan, executor=SerialExecutor())
+        with ThreadPoolDoAll(workers=3) as pool:
+            _, parallel = train(corpus, plan=plan, executor=pool)
+        assert np.array_equal(serial.model.embedding, parallel.model.embedding)
+        assert np.array_equal(serial.model.training, parallel.model.training)
+        assert serial.epoch_pairs == parallel.epoch_pairs
+
+    @pytest.mark.parametrize("plan", ["naive", "opt", "pull"])
+    def test_bit_identical_with_faults(self, corpus, plan):
+        faults = FaultConfig(crash_prob=0.2, drop_prob=0.05, straggler_prob=0.2)
+        ts, serial = train(corpus, plan=plan, faults=faults, executor=SerialExecutor())
+        with ThreadPoolDoAll(workers=3) as pool:
+            tp, parallel = train(corpus, plan=plan, faults=faults, executor=pool)
+        assert ts.fault_report.crashes == tp.fault_report.crashes
+        assert np.array_equal(serial.model.embedding, parallel.model.embedding)
+        assert np.array_equal(serial.model.training, parallel.model.training)
+        assert serial.epoch_pairs == parallel.epoch_pairs
+
+    def test_byte_accounting_identical(self, corpus):
+        _, serial = train(corpus, workers=1)
+        _, parallel = train(corpus, workers=3)
+        assert serial.report.comm_bytes == parallel.report.comm_bytes
+        assert serial.report.comm_messages == parallel.report.comm_messages
+        assert serial.report.pairs_processed == parallel.report.pairs_processed
+
+    def test_workers_knob_builds_pool(self, corpus):
+        trainer = GraphWord2Vec(corpus, FAST, num_hosts=2, workers=3)
+        assert isinstance(trainer.executor, ThreadPoolDoAll)
+        assert trainer.executor.workers == 3
+
+    def test_workers_one_is_serial(self, corpus):
+        trainer = GraphWord2Vec(corpus, FAST, num_hosts=2, workers=1)
+        assert isinstance(trainer.executor, SerialExecutor)
+
+    def test_executor_and_workers_conflict(self, corpus):
+        with pytest.raises(ValueError, match="not both"):
+            GraphWord2Vec(
+                corpus, FAST, num_hosts=2, executor=SerialExecutor(), workers=2
+            )
+
+    def test_env_default_used(self, corpus, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        trainer = GraphWord2Vec(corpus, FAST, num_hosts=2)
+        assert isinstance(trainer.executor, ThreadPoolDoAll)
+        assert trainer.executor.workers == 3
+
+    def test_explicit_workers_beat_env(self, corpus, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        trainer = GraphWord2Vec(corpus, FAST, num_hosts=2, workers=1)
+        assert isinstance(trainer.executor, SerialExecutor)
+
+
+class TestExecutorFailurePropagation:
+    def test_operator_error_surfaces_from_train(self, corpus):
+        class BrokenExecutor:
+            """Runs the first item, then fails the loop."""
+
+            def run(self, items, operator):
+                operator(items[0])
+                raise RuntimeError("executor blew up")
+
+        trainer = GraphWord2Vec(
+            corpus, FAST, num_hosts=2, executor=BrokenExecutor()
+        )
+        with pytest.raises(RuntimeError, match="executor blew up"):
+            trainer.train()
+
+    def test_protocol_accepts_custom_executor(self, corpus):
+        calls = []
+
+        class CountingExecutor:
+            def run(self, items, operator):
+                calls.append(len(list(items)))
+                for item in items:
+                    operator(item)
+
+        executor: DoAllExecutor = CountingExecutor()
+        _, result = train(corpus, hosts=2, executor=executor)
+        _, reference = train(corpus, hosts=2, executor=SerialExecutor())
+        assert calls  # the trainer actually drove the injected executor
+        assert np.array_equal(result.model.embedding, reference.model.embedding)
+
+
+class TestHogwildSmoke:
+    def test_exact_pair_counts_across_worker_counts(self, corpus):
+        # Example generation uses per-chunk seed streams, so the *number* of
+        # training pairs is exact under any worker count — only the trained
+        # vectors are allowed to differ (benign Hogwild races).  Race-free
+        # accumulators make the counts reliable.
+        serial = SharedMemoryWord2Vec(corpus, FAST, seed=5, workers=1)
+        serial.train()
+        parallel = SharedMemoryWord2Vec(corpus, FAST, seed=5, workers=4)
+        parallel.train()
+        assert [s.pairs for s in serial.epoch_stats] == [
+            s.pairs for s in parallel.epoch_stats
+        ]
+        assert all(s.pairs > 0 for s in serial.epoch_stats)
+
+    def test_workers_conflict_rejected(self, corpus):
+        with pytest.raises(ValueError, match="not both"):
+            SharedMemoryWord2Vec(
+                corpus, FAST, seed=5, executor=SerialExecutor(), workers=2
+            )
