@@ -7,8 +7,6 @@ softmax} configurations — shared-memory and distributed with the model
 combiner — and prints the accuracy table.
 """
 
-import numpy as np
-
 from repro.eval.analogy import evaluate_analogies
 from repro.experiments import datasets, harness
 from repro.util.tables import format_table

@@ -15,6 +15,8 @@ Run with::
 
     pytest benchmarks/test_parallel_compute.py --benchmark-only -q
 """
+# repro: allow-file[REPRO003] -- this benchmark's whole point is measuring
+# real wall-clock speedup; nothing here feeds the simulated timing model.
 
 from __future__ import annotations
 

@@ -1,0 +1,62 @@
+"""Benchmark: runtime-sanitizer overhead and observational purity.
+
+The acceptance bar for ``repro.analysis.runtime`` is that sanitizers
+*observe, never perturb*: a sanitized training run must produce the
+bit-identical model of an unsanitized run, and the do_all race detector
+plus ``GluonSyncChecker`` together must cost at most 3x wall-clock on the
+smoke corpus.
+
+Run with::
+
+    pytest benchmarks/test_sanitize_overhead.py --benchmark-only -q
+"""
+# repro: allow-file[REPRO003] -- this benchmark measures real wall-clock
+# overhead of the sanitizers; nothing here feeds the simulated timing model.
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.text.synthetic import SyntheticCorpusSpec, generate_corpus
+from repro.w2v.distributed import GraphWord2Vec
+from repro.w2v.params import Word2VecParams
+
+HOSTS = 4
+PARAMS = Word2VecParams(dim=32, epochs=2, negatives=5, window=5)
+MAX_OVERHEAD = 3.0
+
+
+def _train(corpus, sanitize):
+    trainer = GraphWord2Vec(corpus, PARAMS, num_hosts=HOSTS, seed=11, sanitize=sanitize)
+    start = time.perf_counter()
+    result = trainer.train()
+    wall = time.perf_counter() - start
+    return trainer, result, wall
+
+
+def test_sanitize_parity_and_overhead():
+    spec = SyntheticCorpusSpec(
+        num_tokens=30_000, pairs_per_family=5, filler_vocab=300, questions_per_family=4
+    )
+    corpus = generate_corpus(spec, seed=5)[0]
+
+    _, plain_result, plain_wall = _train(corpus, sanitize=False)
+    trainer, sane_result, sane_wall = _train(corpus, sanitize=True)
+
+    # Observe, never perturb: the sanitized model is bit-identical.
+    assert np.array_equal(plain_result.model.embedding, sane_result.model.embedding)
+    assert np.array_equal(plain_result.model.training, sane_result.model.training)
+
+    # ... and the shipped trainer has nothing for the sanitizers to flag.
+    assert trainer.sanitize_findings == []
+
+    overhead = sane_wall / plain_wall
+    print(
+        f"\n[sanitize-overhead] plain={plain_wall:.2f}s sanitized={sane_wall:.2f}s "
+        f"overhead={overhead:.2f}x (budget {MAX_OVERHEAD:.1f}x)"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"sanitizers cost {overhead:.2f}x wall-clock, budget is {MAX_OVERHEAD:.1f}x"
+    )

@@ -11,8 +11,6 @@ the planted communities.
 Run:  python examples/node_embeddings.py
 """
 
-import numpy as np
-
 from repro.embeddings import (
     DeepWalkConfig,
     community_separation,

@@ -1,0 +1,63 @@
+"""Static analysis and runtime sanitizers for determinism & race checking.
+
+The simulator's headline invariants — bit-identical models across
+communication plans, executors, and fault schedules — only hold if every
+stochastic choice flows through the seed tree, no operator races on shared
+state, and every mirror/master exchange follows the Gluon
+reduce-then-broadcast protocol.  This package *checks* those disciplines
+instead of trusting them:
+
+- :mod:`repro.analysis.lint` — an AST-based linter with project-specific
+  rules (unseeded RNG use, wall-clock in compute paths, nondeterministic
+  set/dict iteration in sync code, closure mutation inside ``do_all``
+  operators).  Run it as ``python -m repro.analysis [paths]``.
+- :mod:`repro.analysis.runtime` — runtime sanitizers: a ``do_all`` data-race
+  detector that shadow-records per-chunk NumPy access sets, and a
+  :class:`~repro.analysis.runtime.GluonSyncChecker` that tracks per-field
+  dirty/stale state across synchronization rounds.  Both observe and never
+  perturb: a sanitized run is bit-identical to an unsanitized one.  Enable
+  via ``GraphWord2Vec(sanitize=True)``, ``repro train --sanitize``, or
+  ``REPRO_SANITIZE=1``.
+"""
+
+from repro.analysis.lint import (
+    Finding,
+    Rule,
+    RULES,
+    lint_paths,
+    lint_source,
+    main,
+    render_json,
+    render_text,
+)
+from repro.analysis.runtime import (
+    SANITIZE_ENV_VAR,
+    DoAllRaceSanitizer,
+    GluonSyncChecker,
+    SanitizedExecutor,
+    SanitizeError,
+    SanitizeFinding,
+    note_read,
+    note_write,
+    sanitize_from_env,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "render_json",
+    "render_text",
+    "SANITIZE_ENV_VAR",
+    "DoAllRaceSanitizer",
+    "GluonSyncChecker",
+    "SanitizedExecutor",
+    "SanitizeError",
+    "SanitizeFinding",
+    "note_read",
+    "note_write",
+    "sanitize_from_env",
+]

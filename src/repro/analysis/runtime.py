@@ -1,0 +1,458 @@
+"""Runtime sanitizers: ``do_all`` race detection and Gluon protocol checking.
+
+Both sanitizers are strictly observational — they read model state, never
+write it, and draw no randomness — so a sanitized run is **bit-identical**
+to an unsanitized one (pinned by ``tests/test_analysis_sanitizers.py``).
+
+Race detection (:class:`DoAllRaceSanitizer` + :class:`SanitizedExecutor`)
+works in *shadow* mode: the executor wrapper assigns every loop item its
+own chunk id and instrumented operators report the NumPy row sets they
+read/write via :func:`note_read` / :func:`note_write`.  After the loop
+barrier, cross-chunk write–write and read–write overlaps are reported with
+the offending chunk pair and a sample of the overlapping rows.  Treating
+each item as its own chunk makes findings independent of the executor that
+actually ran the loop (chunking is a scheduling knob, not a correctness
+boundary): a race is reported even when the loop happened to run serially.
+
+Protocol checking (:class:`GluonSyncChecker`) hooks the synchronizer's
+reduce/broadcast rounds and tracks three per-(field, host) invariants:
+
+- **dropped writes** — rows where ``array != base`` that were neither
+  flagged in the round's update bit-vector nor part of the *expected
+  residual* (PullModel legitimately leaves already-reduced deltas in
+  place on rows it chose not to refresh);
+- **stale reads** — a host updating a row whose replica went stale (its
+  master changed in an earlier round without a broadcast reaching this
+  host since);
+- **redundant broadcasts** — received rows that neither changed at their
+  master nor were requested through the plan's access mechanism.
+
+A :func:`note_write` outside any sanitized loop is a no-op, so the
+instrumentation can stay in place permanently at negligible cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.gluon.proxies import master_block_slice
+
+__all__ = [
+    "SANITIZE_ENV_VAR",
+    "SanitizeFinding",
+    "SanitizeError",
+    "DoAllRaceSanitizer",
+    "SanitizedExecutor",
+    "GluonSyncChecker",
+    "note_read",
+    "note_write",
+    "sanitize_from_env",
+]
+
+#: Environment variable enabling the sanitizers in components that consult
+#: it (``GraphWord2Vec`` when ``sanitize=None``); how the CI job runs the
+#: whole tier-1 suite under full checking.
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def sanitize_from_env() -> bool:
+    """Whether ``REPRO_SANITIZE`` requests sanitized execution."""
+    return os.environ.get(SANITIZE_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+#: Rows quoted per finding (full overlap sets can be huge).
+_SAMPLE_ROWS = 8
+#: Findings emitted per checked loop/round before truncation.
+_MAX_FINDINGS_PER_CHECK = 16
+
+
+def _sample(rows: np.ndarray) -> list[int]:
+    return [int(r) for r in np.asarray(rows).ravel()[:_SAMPLE_ROWS]]
+
+
+@dataclass(frozen=True)
+class SanitizeFinding:
+    """One observed violation, with enough context to locate it."""
+
+    checker: str  # "do_all" | "gluon"
+    kind: str  # e.g. "write-write", "dropped-write", "stale-read"
+    message: str
+    details: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.checker}:{self.kind}] {self.message}"
+
+
+class SanitizeError(RuntimeError):
+    """Raised at a checking barrier when any sanitizer collected findings."""
+
+    def __init__(self, findings: Sequence[SanitizeFinding], context: str = ""):
+        self.findings = list(findings)
+        where = f" ({context})" if context else ""
+        body = "\n".join(f"  {f}" for f in self.findings)
+        super().__init__(
+            f"{len(self.findings)} sanitizer finding(s){where}:\n{body}"
+        )
+
+
+# ----------------------------------------------------------------------
+# do_all race detection
+# ----------------------------------------------------------------------
+class _ChunkAccess:
+    """Row sets one chunk reported; written only by the executing thread."""
+
+    __slots__ = ("chunk_id", "reads", "writes")
+
+    def __init__(self, chunk_id: int):
+        self.chunk_id = chunk_id
+        # (array id, label, rows) triples.
+        self.reads: list[tuple[int, str, np.ndarray]] = []
+        self.writes: list[tuple[int, str, np.ndarray]] = []
+
+    def note(self, array: np.ndarray, rows: Any, mode: str, label: str | None) -> None:
+        rows = np.asarray(rows)
+        entry = (id(array), label or f"array@{id(array):#x}", rows)
+        (self.writes if mode == "w" else self.reads).append(entry)
+
+
+class _LoopRecord:
+    """All chunks of one sanitized ``do_all`` loop."""
+
+    __slots__ = ("name", "chunks", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.chunks: list[_ChunkAccess] = []
+        self._lock = threading.Lock()
+
+    def add(self, chunk: _ChunkAccess) -> None:
+        with self._lock:
+            self.chunks.append(chunk)
+
+
+_ctx = threading.local()
+
+
+def note_write(array: np.ndarray, rows: Any, label: str | None = None) -> None:
+    """Report rows of ``array`` the current loop item writes.
+
+    No-op unless called from inside a :class:`SanitizedExecutor` run, so
+    instrumented operators cost one thread-local lookup when sanitizers
+    are off.  ``rows`` must not be mutated afterwards (a reference is
+    kept until the loop barrier).
+    """
+    record = getattr(_ctx, "record", None)
+    if record is not None:
+        record.note(array, rows, "w", label)
+
+
+def note_read(array: np.ndarray, rows: Any, label: str | None = None) -> None:
+    """Report rows of ``array`` the current loop item reads (see
+    :func:`note_write`)."""
+    record = getattr(_ctx, "record", None)
+    if record is not None:
+        record.note(array, rows, "r", label)
+
+
+class DoAllRaceSanitizer:
+    """Collects and checks shadow access records of sanitized loops."""
+
+    name = "do_all"
+
+    def __init__(self) -> None:
+        self.findings: list[SanitizeFinding] = []
+        self.loops_checked = 0
+        self._lock = threading.Lock()
+
+    def check_loop(self, loop: _LoopRecord) -> list[SanitizeFinding]:
+        """Analyze one finished loop; appends and returns new findings."""
+        per_array: dict[int, dict[int, tuple[str, list[np.ndarray], list[np.ndarray]]]] = {}
+        for chunk in loop.chunks:
+            for arr_id, label, rows in chunk.writes:
+                slot = per_array.setdefault(arr_id, {}).setdefault(
+                    chunk.chunk_id, (label, [], [])
+                )
+                slot[1].append(rows)
+            for arr_id, label, rows in chunk.reads:
+                slot = per_array.setdefault(arr_id, {}).setdefault(
+                    chunk.chunk_id, (label, [], [])
+                )
+                slot[2].append(rows)
+
+        new: list[SanitizeFinding] = []
+
+        def union(parts: list[np.ndarray]) -> np.ndarray:
+            if not parts:
+                return np.empty(0, dtype=np.int64)
+            return np.unique(np.concatenate([np.asarray(p).ravel() for p in parts]))
+
+        for arr_id, by_chunk in per_array.items():
+            if len(by_chunk) < 2:
+                continue
+            resolved = {
+                cid: (label, union(w), union(r))
+                for cid, (label, w, r) in by_chunk.items()
+            }
+            for a, b in itertools.combinations(sorted(resolved), 2):
+                if len(new) >= _MAX_FINDINGS_PER_CHECK:
+                    break
+                label, wa, ra = resolved[a]
+                _, wb, rb = resolved[b]
+                ww = np.intersect1d(wa, wb, assume_unique=True)
+                if ww.size:
+                    new.append(
+                        SanitizeFinding(
+                            self.name,
+                            "write-write",
+                            f"loop {loop.name}: chunks {a} and {b} both write "
+                            f"{label} rows {_sample(ww)} ({ww.size} overlapping)",
+                            {
+                                "loop": loop.name,
+                                "chunks": (a, b),
+                                "array": label,
+                                "rows": _sample(ww),
+                                "overlap": int(ww.size),
+                            },
+                        )
+                    )
+                for (ca, cb, w, r) in ((a, b, wa, rb), (b, a, wb, ra)):
+                    rw = np.intersect1d(w, r, assume_unique=True)
+                    if rw.size:
+                        new.append(
+                            SanitizeFinding(
+                                self.name,
+                                "read-write",
+                                f"loop {loop.name}: chunk {ca} writes {label} rows "
+                                f"{_sample(rw)} that chunk {cb} reads "
+                                f"({rw.size} overlapping)",
+                                {
+                                    "loop": loop.name,
+                                    "chunks": (ca, cb),
+                                    "array": label,
+                                    "rows": _sample(rw),
+                                    "overlap": int(rw.size),
+                                },
+                            )
+                        )
+
+        with self._lock:
+            self.findings.extend(new)
+            self.loops_checked += 1
+        return new
+
+
+class SanitizedExecutor:
+    """Executor wrapper that shadow-records per-chunk access sets.
+
+    Wraps any :class:`~repro.galois.do_all.DoAllExecutor`; the inner
+    executor still runs the loop (serial or thread pool), while each item
+    executes with a thread-local access record bound for
+    :func:`note_read`/:func:`note_write`.  Item order, chunk scheduling
+    and exception semantics are untouched, so results are exactly those
+    of the inner executor.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        sanitizer: DoAllRaceSanitizer,
+        name: str = "do_all",
+    ):
+        self.inner = inner
+        self.sanitizer = sanitizer
+        self.name = name
+        self._loop_counter = itertools.count()
+
+    def run(self, items: Sequence[Any], operator: Callable[[Any], None]) -> None:
+        items = list(items)
+        if not items:
+            self.inner.run(items, operator)
+            return
+        loop = _LoopRecord(f"{self.name}#{next(self._loop_counter)}")
+
+        def shadowed(index: int) -> None:
+            chunk = _ChunkAccess(index)
+            _ctx.record = chunk
+            try:
+                operator(items[index])
+            finally:
+                _ctx.record = None
+                loop.add(chunk)
+
+        try:
+            self.inner.run(range(len(items)), shadowed)
+        finally:
+            # Check even on operator failure: access records collected
+            # before the error still carry race evidence.
+            self.sanitizer.check_loop(loop)
+
+
+# ----------------------------------------------------------------------
+# Gluon synchronization protocol checking
+# ----------------------------------------------------------------------
+def _empty_ids() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
+def _concat_sorted(parts: Sequence[np.ndarray]) -> np.ndarray:
+    nonempty = [np.asarray(p, dtype=np.int64) for p in parts if len(p)]
+    if not nonempty:
+        return _empty_ids()
+    return np.sort(np.concatenate(nonempty))
+
+
+class GluonSyncChecker:
+    """Tracks per-field dirty/stale invariants across sync rounds.
+
+    Attach via ``synchronizer.checker = checker`` (both the embedding and
+    output synchronizers may share one instance; state is keyed by field
+    name).  The checker observes ``sync_replicated`` entry and exit plus
+    ``restore_host``, and — for the BSP value-mode loop — per-round
+    outcomes through :meth:`observe_bsp_round`.
+    """
+
+    name = "gluon"
+
+    def __init__(self) -> None:
+        self.findings: list[SanitizeFinding] = []
+        self.rounds_observed = 0
+        # Expected residual per (field, host): rows where array != base is
+        # legitimate because the delta was already reduced but the plan
+        # chose not to refresh the row (PullModel).
+        self._residual: dict[tuple[str, int], np.ndarray] = {}
+        # Stale rows per (field, host): master changed, no broadcast
+        # received by this host since.
+        self._stale: dict[tuple[str, int], np.ndarray] = {}
+
+    def reset_state(self) -> None:
+        """Forget residual/stale tracking (e.g. after a checkpoint load)."""
+        self._residual.clear()
+        self._stale.clear()
+
+    # -- sync_replicated hooks ------------------------------------------
+    def before_replicated(self, field_sync: Any, bounds: np.ndarray, updated: Sequence[Any]) -> None:
+        """Entry hook: validate writes against flags, before any mutation."""
+        name = field_sync.name
+        emitted = 0
+        for h, bits in enumerate(updated):
+            flagged = bits.indices()
+            arr = field_sync.arrays[h]
+            base = field_sync.bases[h]
+            neq = arr != base
+            if np.issubdtype(arr.dtype, np.floating):
+                # NaN != NaN: rows that diverged to NaN on both sides are
+                # equal for protocol purposes (divergence is a legitimate
+                # training outcome, not a dropped write).
+                neq &= ~(np.isnan(arr) & np.isnan(base))
+            dirty = np.flatnonzero(neq.any(axis=1)).astype(np.int64)
+            allowed = flagged
+            residual = self._residual.get((name, h))
+            if residual is not None and residual.size:
+                allowed = np.union1d(flagged, residual)
+            dropped = np.setdiff1d(dirty, allowed, assume_unique=False)
+            if dropped.size and emitted < _MAX_FINDINGS_PER_CHECK:
+                emitted += 1
+                self.findings.append(
+                    SanitizeFinding(
+                        self.name,
+                        "dropped-write",
+                        f"field {name!r}: host {h} wrote rows {_sample(dropped)} "
+                        f"({dropped.size} total) without flagging them in the "
+                        "update bit-vector; the deltas will never be reduced",
+                        {"field": name, "host": h, "rows": _sample(dropped)},
+                    )
+                )
+            stale = self._stale.get((name, h))
+            if stale is not None and stale.size and flagged.size:
+                hit = np.intersect1d(flagged, stale, assume_unique=True)
+                if hit.size and emitted < _MAX_FINDINGS_PER_CHECK:
+                    emitted += 1
+                    self.findings.append(
+                        SanitizeFinding(
+                            self.name,
+                            "stale-read",
+                            f"field {name!r}: host {h} updated rows {_sample(hit)} "
+                            f"({hit.size} total) whose replica is stale (master "
+                            "changed without a broadcast reaching this host)",
+                            {"field": name, "host": h, "rows": _sample(hit)},
+                        )
+                    )
+
+    def after_replicated(
+        self,
+        field_sync: Any,
+        bounds: np.ndarray,
+        plan: Any,
+        updated: Sequence[Any],
+        changed_per_master: Sequence[np.ndarray],
+        received_per_host: Sequence[np.ndarray],
+        accessed_next: Sequence[np.ndarray] | None,
+    ) -> None:
+        """Exit hook: audit the broadcast and roll the stale/residual state."""
+        name = field_sync.name
+        changed_all = _concat_sorted(changed_per_master)  # blocks disjoint => unique
+        emitted = 0
+        for h in range(len(field_sync.arrays)):
+            recv = np.asarray(received_per_host[h], dtype=np.int64)
+            if recv.size:
+                justified = np.isin(recv, changed_all)
+                if plan.requires_access_sets and accessed_next is not None:
+                    acc = np.asarray(accessed_next[h], dtype=np.int64)
+                    justified |= np.isin(recv, acc)
+                redundant = recv[~justified]
+                if redundant.size and emitted < _MAX_FINDINGS_PER_CHECK:
+                    emitted += 1
+                    self.findings.append(
+                        SanitizeFinding(
+                            self.name,
+                            "redundant-broadcast",
+                            f"field {name!r}: host {h} received rows "
+                            f"{_sample(redundant)} ({redundant.size} total) that "
+                            "neither changed at their master nor were requested "
+                            "by the plan's access mechanism",
+                            {"field": name, "host": h, "rows": _sample(redundant)},
+                        )
+                    )
+
+            block = master_block_slice(bounds, h)
+            flagged = updated[h].indices()
+            rebased = np.union1d(recv, np.asarray(changed_per_master[h], dtype=np.int64))
+            residual = self._residual.get((name, h), _empty_ids())
+            residual = np.setdiff1d(np.union1d(residual, flagged), rebased)
+            self._residual[(name, h)] = residual
+
+            foreign = changed_all[
+                (changed_all < block.start) | (changed_all >= block.stop)
+            ]
+            stale = self._stale.get((name, h), _empty_ids())
+            stale = np.setdiff1d(np.union1d(stale, foreign), recv)
+            self._stale[(name, h)] = stale
+        self.rounds_observed += 1
+
+    def after_restore(self, field_sync: Any, host: int) -> None:
+        """Crash recovery rebuilt ``host``'s replica: everything is fresh."""
+        self._residual[(field_sync.name, host)] = _empty_ids()
+        self._stale[(field_sync.name, host)] = _empty_ids()
+
+    # -- BSP value-mode hook --------------------------------------------
+    def observe_bsp_round(self, round_index: int, local_work: int, result: Any) -> None:
+        """Value-mode rounds: synchronization may only change labels when
+        some host did local work (masters cannot invent updates)."""
+        if local_work == 0 and getattr(result, "any_changed", False):
+            self.findings.append(
+                SanitizeFinding(
+                    self.name,
+                    "phantom-sync",
+                    f"BSP round {round_index}: synchronization changed labels "
+                    "although no host performed local work",
+                    {"round": round_index},
+                )
+            )

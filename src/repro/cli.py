@@ -74,6 +74,17 @@ def build_parser() -> argparse.ArgumentParser:
             "Keys map to repro.cluster.FaultConfig fields."
         ),
     )
+    train.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "run the repro.analysis sanitizers (do_all race detection and "
+            "Gluon sync protocol checking) during training (multi-host "
+            "only); findings abort the run with a report. Results are "
+            "bit-identical to an unsanitized run. Defaults to the "
+            "REPRO_SANITIZE environment variable."
+        ),
+    )
     train.add_argument("--save", type=Path, help="write the trained model (.npz)")
 
     neighbors = sub.add_parser("neighbors", help="nearest-neighbor queries")
@@ -159,6 +170,9 @@ def _cmd_train(args) -> int:
     if args.workers is not None and args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.sanitize and args.hosts == 1:
+        print("error: --sanitize requires --hosts > 1", file=sys.stderr)
+        return 2
     print(f"training on {corpus} with {params}")
     if args.hosts == 1:
         model = SharedMemoryWord2Vec(
@@ -175,6 +189,7 @@ def _cmd_train(args) -> int:
             seed=args.seed,
             faults=fault_config,
             workers=args.workers,
+            sanitize=True if args.sanitize else None,
         )
         result = trainer.train()
         model = result.model

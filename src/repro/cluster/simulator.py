@@ -71,7 +71,7 @@ class DistributedRunReport:
         # Group phase bytes by kind (reduce/broadcast/request), dropping the
         # per-field suffix for readability.
         by_phase: dict[str, int] = {}
-        for name, nbytes in network.stats.bytes_by_phase.items():
+        for name, nbytes in sorted(network.stats.bytes_by_phase.items()):
             kind = name.split(":", 1)[0]
             by_phase[kind] = by_phase.get(kind, 0) + nbytes
         return cls(

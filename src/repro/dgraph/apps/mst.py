@@ -109,7 +109,8 @@ def minimum_spanning_forest(
                     )
         merged: dict[int, tuple[float, int, int]] = dict(messages[0])
         for _src, payload in net.drain(0):
-            for c, key in payload.items():
+            for c in sorted(payload):
+                key = payload[c]
                 if c not in merged or better(key, merged[c]):
                     merged[c] = key
         if not merged:
@@ -117,7 +118,7 @@ def minimum_spanning_forest(
 
         # Deduplicate: one undirected edge may be the minimum of both its
         # endpoint components.
-        chosen = {key for key in merged.values()}
+        chosen = sorted({merged[c] for c in sorted(merged)})
         # 3. Broadcast the chosen edge set to every host.
         with net.phase("mst-broadcast"):
             for host in range(1, H):
@@ -135,7 +136,7 @@ def minimum_spanning_forest(
                 x = int(parent[x])
             return x
 
-        for w, u, v in sorted(chosen):
+        for w, u, v in chosen:
             ru, rv = find(int(comp[u])), find(int(comp[v]))
             if ru != rv:
                 lo, hi = min(ru, rv), max(ru, rv)

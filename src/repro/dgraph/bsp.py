@@ -74,7 +74,12 @@ class BSPEngine:
         num_hosts: int,
         max_rounds: int = 10_000,
         recovery: RecoveryPolicy | None = None,
+        sync_checker: Any | None = None,
     ):
+        """``sync_checker`` (a
+        :class:`~repro.analysis.runtime.GluonSyncChecker`) observes each
+        round's outcome for protocol violations — e.g. a synchronization
+        that changes labels in a round where no host did local work."""
         if num_hosts <= 0:
             raise ValueError(f"num_hosts must be positive, got {num_hosts}")
         if max_rounds <= 0:
@@ -87,6 +92,7 @@ class BSPEngine:
         self.num_hosts = num_hosts
         self.max_rounds = max_rounds
         self.recovery = recovery
+        self.sync_checker = sync_checker
         self.history: list[RoundStats] = []
 
     def run(
@@ -123,6 +129,8 @@ class BSPEngine:
                     local_work += int(compute(ev.host, round_index))
 
             result = sync()
+            if self.sync_checker is not None:
+                self.sync_checker.observe_bsp_round(round_index, local_work, result)
             stats = RoundStats(
                 round_index=round_index,
                 local_work=local_work,

@@ -1,4 +1,7 @@
 """Shared experiment machinery: canonical parameters and timed runs."""
+# repro: allow-file[REPRO003] -- the harness's whole job is timing full
+# runs end-to-end with the wall clock; nothing here feeds the simulated
+# timing model, which only consumes injected StatTimer clocks.
 
 from __future__ import annotations
 
@@ -121,10 +124,13 @@ def run_distributed(
     seed: int = DEFAULT_SEED,
     epoch_hook: Callable[[int, Word2VecModel], None] | None = None,
     workers: int | None = None,
+    sanitize: bool | None = None,
 ) -> TimedRun:
     """``workers`` > 1 overlaps the simulated hosts on real cores; the
     trained model and the modeled times are bit-identical to ``workers=1``
-    (only the real wall-clock of the simulation changes)."""
+    (only the real wall-clock of the simulation changes).  ``sanitize``
+    enables the :mod:`repro.analysis.runtime` sanitizers (``None`` defers
+    to ``REPRO_SANITIZE``); sanitized runs are bit-identical too."""
     trainer = GraphWord2Vec(
         corpus,
         params,
@@ -134,6 +140,7 @@ def run_distributed(
         plan=plan,
         seed=seed,
         workers=workers,
+        sanitize=sanitize,
     )
     start = time.perf_counter()
     # Large-learning-rate divergence (AVG at lr*H) legitimately overflows

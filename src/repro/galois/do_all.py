@@ -134,7 +134,13 @@ class ThreadPoolDoAll:
         self.close()
 
     # -- execution ---------------------------------------------------------
-    def _chunk_for(self, n: int) -> int:
+    def chunk_for(self, n: int) -> int:
+        """Chunk size an ``n``-item loop would be scheduled with.
+
+        Public so tooling (e.g. the :mod:`repro.analysis` sanitizers and
+        benchmarks) can reason about chunk boundaries without re-deriving
+        the policy.
+        """
         if self.chunk_size is not None:
             return self.chunk_size
         # ~4 chunks per worker: enough slack for dynamic balancing without
@@ -152,7 +158,7 @@ class ThreadPoolDoAll:
             SerialExecutor().run(items, operator)
             return
 
-        chunk = self._chunk_for(n)
+        chunk = self.chunk_for(n)
         cursor = [0]
         cursor_lock = threading.Lock()
         errors: list[BaseException] = []

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["block_boundaries", "block_owner", "block_owner_array"]
+__all__ = [
+    "block_boundaries",
+    "block_owner",
+    "block_owner_array",
+    "master_block_slice",
+]
 
 
 def block_boundaries(num_nodes: int, num_hosts: int) -> np.ndarray:
@@ -45,3 +50,10 @@ def block_owner_array(nodes: np.ndarray, bounds: np.ndarray) -> np.ndarray:
     if nodes.size and (nodes.min() < 0 or nodes.max() >= bounds[-1]):
         raise IndexError("node id out of range")
     return (np.searchsorted(bounds, nodes, side="right") - 1).astype(np.int64)
+
+
+def master_block_slice(bounds: np.ndarray, host: int) -> slice:
+    """Global-id slice of ``host``'s contiguous master block."""
+    if not 0 <= host < len(bounds) - 1:
+        raise ValueError(f"host {host} out of range [0, {len(bounds) - 1})")
+    return slice(int(bounds[host]), int(bounds[host + 1]))

@@ -127,6 +127,10 @@ class GluonSynchronizer:
         self.network = network
         self.num_hosts = len(partitions)
         self.bounds = self.partitions[0].master_bounds
+        #: Optional :class:`~repro.analysis.runtime.GluonSyncChecker`; when
+        #: set, replicated syncs and crash restores are observed (never
+        #: perturbed) for protocol violations.
+        self.checker = None
         # Mirror location map for value-mode sync: (master_host, mirror_host)
         # -> sorted global ids in master_host's block proxied on mirror_host.
         self._mirror_ids: dict[tuple[int, int], np.ndarray] = {}
@@ -178,6 +182,10 @@ class GluonSynchronizer:
         dim = field.dim
         dtype = field.arrays[0].dtype
 
+        if self.checker is not None:
+            # Validate writes-vs-flags while replicas are still untouched.
+            self.checker.before_replicated(field, self.bounds, updated)
+
         touched = [updated[h].indices() for h in range(H)]
         deltas = [
             (field.arrays[h][touched[h]].astype(np.float64) -
@@ -210,7 +218,10 @@ class GluonSynchronizer:
                 contribs[m] = (touched[m][own_sel], deltas[m][own_sel])
                 for src, payload in self.network.drain(m):
                     contribs[src] = payload
-                all_ids = [ids for ids, _ in contribs.values() if len(ids)]
+                all_ids = [
+                    contribs[src][0] for src in sorted(contribs)
+                    if len(contribs[src][0])
+                ]
                 if not all_ids:
                     changed_per_master.append(np.empty(0, dtype=np.int64))
                     continue
@@ -292,6 +303,17 @@ class GluonSynchronizer:
             if len(ids):
                 field.bases[m][ids] = field.arrays[m][ids]
 
+        if self.checker is not None:
+            self.checker.after_replicated(
+                field,
+                self.bounds,
+                plan,
+                updated,
+                changed_per_master,
+                received_per_host,
+                accessed_next,
+            )
+
         return ReplicatedSyncResult(
             field=field.name,
             changed_per_master=changed_per_master,
@@ -339,6 +361,8 @@ class GluonSynchronizer:
             for _src, (ids, vals) in self.network.drain(host):
                 field.arrays[host][ids] = vals
                 field.bases[host][ids] = vals
+        if self.checker is not None:
+            self.checker.after_restore(field, host)
         return record.total_bytes
 
     # ------------------------------------------------------------------

@@ -13,7 +13,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["default_rng", "spawn_rngs", "SeedSequenceTree", "hash64"]
+__all__ = [
+    "default_rng",
+    "derive_seed",
+    "keyed_rng",
+    "spawn_rngs",
+    "SeedSequenceTree",
+    "hash64",
+]
 
 # Default root seed used across examples/benchmarks so results are stable.
 DEFAULT_SEED = 0x5EED_C0DE
@@ -22,6 +29,26 @@ DEFAULT_SEED = 0x5EED_C0DE
 def default_rng(seed: int | None = None) -> np.random.Generator:
     """Return a PCG64 generator seeded with ``seed`` (library default if None)."""
     return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def derive_seed(*key: int) -> int:
+    """Mix an integer key tuple into one stable 64-bit seed.
+
+    The derivation is ``SeedSequence`` entropy mixing, so distinct key tuples
+    yield statistically independent seeds and the same tuple always yields
+    the same seed.  This is the sanctioned way for components outside this
+    module to derive sub-seeds (the ``repro.analysis`` linter flags direct
+    ``np.random.SeedSequence`` use elsewhere).
+    """
+    material = np.random.SeedSequence(tuple(int(k) for k in key))
+    return int(material.generate_state(1, dtype=np.uint64)[0])
+
+
+def keyed_rng(*key: int) -> np.random.Generator:
+    """A PCG64 generator for an integer key tuple (see :func:`derive_seed`)."""
+    return np.random.default_rng(
+        np.random.SeedSequence(tuple(int(k) for k in key))
+    )
 
 
 def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:

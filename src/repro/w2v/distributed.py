@@ -53,6 +53,14 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analysis.runtime import (
+    DoAllRaceSanitizer,
+    GluonSyncChecker,
+    SanitizedExecutor,
+    SanitizeError,
+    note_write,
+    sanitize_from_env,
+)
 from repro.cluster.faults import FaultConfig, FaultReport, FaultSchedule
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.network import NetworkModel, SCALED_DEFAULT
@@ -68,6 +76,7 @@ from repro.galois.do_all import (
 from repro.gluon.bitvector import BitVector
 from repro.gluon.comm import VALUE_BYTES, SimulatedNetwork
 from repro.gluon.partitioner import replicate_all_partitions
+from repro.gluon.proxies import master_block_slice
 from repro.gluon.plans import CommPlan, get_plan
 from repro.gluon.sync import FieldSync, GluonSynchronizer
 from repro.text.corpus import Corpus
@@ -120,6 +129,7 @@ class GraphWord2Vec:
         faults: FaultConfig | FaultSchedule | None = None,
         executor: DoAllExecutor | None = None,
         workers: int | None = None,
+        sanitize: bool | None = None,
     ):
         """``executor``/``workers`` choose how the per-host compute (and
         PullModel inspection) phases execute: pass a
@@ -145,7 +155,16 @@ class GraphWord2Vec:
         :class:`~repro.cluster.faults.FaultSchedule`.  ``None`` (default)
         leaves every fault hook disengaged — byte accounting, timing and
         the final model are bit-identical to a build without the fault
-        subsystem."""
+        subsystem.
+
+        ``sanitize`` enables the :mod:`repro.analysis.runtime` sanitizers:
+        compute loops run under a :class:`SanitizedExecutor` (cross-host
+        data-race detection) and both synchronizers get a
+        :class:`GluonSyncChecker` (protocol auditing).  Findings raise
+        :class:`~repro.analysis.runtime.SanitizeError` at the next round
+        barrier.  Sanitizers observe and never perturb, so a sanitized run
+        is bit-identical to an unsanitized one.  ``None`` (default) defers
+        to the ``REPRO_SANITIZE`` environment variable."""
         if num_hosts <= 0:
             raise ValueError(f"num_hosts must be positive, got {num_hosts}")
         if host_speed_factors is not None:
@@ -184,6 +203,16 @@ class GraphWord2Vec:
         if resolved is None:
             resolved = executor_from_env()
         self.executor: DoAllExecutor = resolved or SerialExecutor()
+        self.sanitize = sanitize_from_env() if sanitize is None else bool(sanitize)
+        if self.sanitize:
+            self.race_sanitizer: DoAllRaceSanitizer | None = DoAllRaceSanitizer()
+            self.sync_checker: GluonSyncChecker | None = GluonSyncChecker()
+            self.executor = SanitizedExecutor(
+                self.executor, self.race_sanitizer, name="w2v"
+            )
+        else:
+            self.race_sanitizer = None
+            self.sync_checker = None
         self._seeds = SeedSequenceTree(seed if seed is not None else 0)
 
         # Fault injection: the schedule is a pure function of the seed tree,
@@ -243,6 +272,11 @@ class GraphWord2Vec:
                 output_rows, self.num_hosts
             )
             self._sync_out = GluonSynchronizer(self.partitions_out, self.network)
+        if self.sync_checker is not None:
+            # One checker serves both synchronizers (state is keyed by
+            # field name; the two fields have distinct names).
+            self._sync_emb.checker = self.sync_checker
+            self._sync_out.checker = self.sync_checker
         self.metrics = ClusterMetrics(self.num_hosts)
         self.bounds = self.partitions[0].master_bounds
         self.bounds_out = self.partitions_out[0].master_bounds
@@ -310,7 +344,9 @@ class GraphWord2Vec:
         # asked for again — drop them so their shuffled sentence lists don't
         # pin dead corpus memory for the rest of the run.
         self._epoch_chunks_cache = {
-            k: v for k, v in self._epoch_chunks_cache.items() if k >= epoch
+            k: self._epoch_chunks_cache[k]
+            for k in sorted(self._epoch_chunks_cache)
+            if k >= epoch
         }
         self._epoch_chunks_cache[epoch] = per_host
         return per_host
@@ -477,6 +513,18 @@ class GraphWord2Vec:
                 compute_loss=self.compute_loss,
             )
             compute_slots[host] = (time.thread_time() - start, pairs)
+            # Shadow access records for the race sanitizer (no-ops when the
+            # loop is not sanitized).  Hosts write disjoint replica arrays,
+            # so a clean report here is the parallel-compute invariant.
+            work = works[host]
+            note_write(
+                emb_field.arrays[host], work.embedding_access,
+                label=f"embedding[host={host}]",
+            )
+            note_write(
+                out_field.arrays[host], work.output_access,
+                label=f"training[host={host}]",
+            )
 
         do_all(live_hosts, compute_host, executor=self.executor)
 
@@ -569,7 +617,21 @@ class GraphWord2Vec:
             accessed_next=accessed_out, fold_offset=fold,
         )
         self.metrics.end_round()
+        if self.sanitize:
+            findings = self.sanitize_findings
+            if findings:
+                raise SanitizeError(findings, context=f"epoch {epoch} round {s}")
         return round_pairs
+
+    @property
+    def sanitize_findings(self):
+        """All sanitizer findings so far (empty when ``sanitize`` is off)."""
+        findings = []
+        if self.race_sanitizer is not None:
+            findings.extend(self.race_sanitizer.findings)
+        if self.sync_checker is not None:
+            findings.extend(self.sync_checker.findings)
+        return findings
 
     def _time_factor(self, epoch: int, s: int, host: int) -> float:
         """Combined compute-time scaling: static speed x scheduled straggler."""
@@ -740,6 +802,10 @@ class GraphWord2Vec:
         self._epoch_pairs = list(state.epoch_pairs)
         self._work_cache.clear()
         self._epoch_chunks_cache.clear()
+        if self.sync_checker is not None:
+            # Replicas were rebuilt from canonical values: all prior
+            # stale/residual tracking is void.
+            self.sync_checker.reset_state()
         return state.completed_epochs
 
     # ------------------------------------------------------------------
@@ -750,8 +816,8 @@ class GraphWord2Vec:
         emb = np.empty_like(self._fields["embedding"].arrays[0])
         trn = np.empty_like(self._fields["training"].arrays[0])
         for host in range(self.num_hosts):
-            lo, hi = int(self.bounds[host]), int(self.bounds[host + 1])
-            emb[lo:hi] = self._fields["embedding"].arrays[host][lo:hi]
-            lo_o, hi_o = int(self.bounds_out[host]), int(self.bounds_out[host + 1])
-            trn[lo_o:hi_o] = self._fields["training"].arrays[host][lo_o:hi_o]
+            blk = master_block_slice(self.bounds, host)
+            emb[blk] = self._fields["embedding"].arrays[host][blk]
+            blk_o = master_block_slice(self.bounds_out, host)
+            trn[blk_o] = self._fields["training"].arrays[host][blk_o]
         return Word2VecModel(emb.copy(), trn.copy())

@@ -1,7 +1,7 @@
 import numpy as np
 import pytest
 
-from repro.experiments.stats import RunStatistics, repeat_runs
+from repro.experiments.stats import repeat_runs
 
 
 class TestRepeatRuns:

@@ -1,6 +1,5 @@
 """Fault-injection battery: schedules, injectors, recovery, reporting."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.faults import (

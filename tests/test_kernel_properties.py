@@ -1,7 +1,6 @@
 """Additional property-based checks on the training kernels."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.combiners import get_combiner

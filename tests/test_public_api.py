@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.experiments",
     "repro.util",
+    "repro.analysis",
 ]
 
 

@@ -1,10 +1,8 @@
-import numpy as np
 import pytest
 
 from repro.text.synthetic import (
     SEMANTIC,
     SYNTACTIC,
-    AnalogyQuestion,
     RelationFamily,
     SyntheticCorpusSpec,
     default_families,

@@ -1,5 +1,3 @@
-import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.text.corpus import Corpus

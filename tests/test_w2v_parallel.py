@@ -11,6 +11,7 @@ the executor-resolution plumbing (``workers=``, ``REPRO_WORKERS``).
 import numpy as np
 import pytest
 
+from repro.analysis.runtime import SanitizedExecutor
 from repro.cluster.faults import FaultConfig
 from repro.galois.do_all import DoAllExecutor, SerialExecutor, ThreadPoolDoAll
 from repro.text.synthetic import SyntheticCorpusSpec, generate_corpus
@@ -44,6 +45,15 @@ def train(corpus, *, plan="opt", faults=None, hosts=4, **kwargs):
     return trainer, result
 
 
+def resolved_executor(trainer):
+    """The executor picked by workers/env resolution, ignoring the
+    ``SanitizedExecutor`` wrapper added when ``REPRO_SANITIZE=1``."""
+    executor = trainer.executor
+    if isinstance(executor, SanitizedExecutor):
+        executor = executor.inner
+    return executor
+
+
 class TestHostParallelParity:
     @pytest.mark.parametrize("plan", ["naive", "opt", "pull"])
     def test_bit_identical_across_executors(self, corpus, plan):
@@ -74,12 +84,12 @@ class TestHostParallelParity:
 
     def test_workers_knob_builds_pool(self, corpus):
         trainer = GraphWord2Vec(corpus, FAST, num_hosts=2, workers=3)
-        assert isinstance(trainer.executor, ThreadPoolDoAll)
-        assert trainer.executor.workers == 3
+        assert isinstance(resolved_executor(trainer), ThreadPoolDoAll)
+        assert resolved_executor(trainer).workers == 3
 
     def test_workers_one_is_serial(self, corpus):
         trainer = GraphWord2Vec(corpus, FAST, num_hosts=2, workers=1)
-        assert isinstance(trainer.executor, SerialExecutor)
+        assert isinstance(resolved_executor(trainer), SerialExecutor)
 
     def test_executor_and_workers_conflict(self, corpus):
         with pytest.raises(ValueError, match="not both"):
@@ -90,13 +100,13 @@ class TestHostParallelParity:
     def test_env_default_used(self, corpus, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")
         trainer = GraphWord2Vec(corpus, FAST, num_hosts=2)
-        assert isinstance(trainer.executor, ThreadPoolDoAll)
-        assert trainer.executor.workers == 3
+        assert isinstance(resolved_executor(trainer), ThreadPoolDoAll)
+        assert resolved_executor(trainer).workers == 3
 
     def test_explicit_workers_beat_env(self, corpus, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")
         trainer = GraphWord2Vec(corpus, FAST, num_hosts=2, workers=1)
-        assert isinstance(trainer.executor, SerialExecutor)
+        assert isinstance(resolved_executor(trainer), SerialExecutor)
 
 
 class TestExecutorFailurePropagation:

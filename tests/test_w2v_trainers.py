@@ -1,7 +1,6 @@
 import numpy as np
 import pytest
 
-from repro.core.combiners import get_combiner
 from repro.text.synthetic import SyntheticCorpusSpec, generate_corpus
 from repro.w2v.distributed import GraphWord2Vec, default_sync_rounds
 from repro.w2v.params import Word2VecParams
