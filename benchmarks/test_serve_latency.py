@@ -1,0 +1,87 @@
+"""Serving-layer latency: exact vs LSH QPS and tail latency.
+
+Seeds the perf trajectory for ``repro.serve``: drives the batched
+``QueryEngine`` over a synthetic vocabulary with the deterministic load
+generator, records QPS and p50/p95/p99 per index into ``BENCH_serve.json``
+at the repo root, and asserts the batched top-k parity contract (batched
+search is bit-identical to one-query-at-a-time search).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import QueryEngine
+from repro.serve.index import ExactIndex, LSHIndex, recall_at_k
+from repro.serve.loadgen import LoadConfig, run_load
+from repro.serve.store import EmbeddingStore
+from repro.util.rng import keyed_rng
+
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+V, D, K = 4000, 64, 10
+NUM_QUERIES = 2048
+
+
+@pytest.fixture(scope="module")
+def store():
+    matrix = keyed_rng(3, 0x42454E43).normal(size=(V, D)).astype(np.float32)
+    return EmbeddingStore(matrix, [f"tok{i:05d}" for i in range(V)])
+
+
+def _bench_index(store, label, index, once):
+    config = LoadConfig(num_queries=NUM_QUERIES, k=K, seed=11)
+    engine = QueryEngine(index, max_batch=64, cache_size=512)
+    report = once(run_load, engine, config, index_label=label)
+    latency = report.latency_percentiles_ms()
+    return {
+        "index": label,
+        "vocab_size": V,
+        "dim": D,
+        "num_queries": NUM_QUERIES,
+        "k": K,
+        "throughput_qps": report.throughput_qps,
+        "latency_ms": latency,
+        "cache_hit_rate": report.cache_hit_rate,
+        "answers_sha256": report.answers_sha256,
+    }
+
+
+def _merge_into_bench_json(row):
+    payload = {}
+    if OUT_PATH.exists():
+        payload = json.loads(OUT_PATH.read_text())
+    payload[row["index"]] = row
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_serve_exact_latency(store, once):
+    row = _bench_index(store, "exact", ExactIndex(store), once)
+    _merge_into_bench_json(row)
+    print(f"\nexact: {row['throughput_qps']:,.0f} qps, p99 {row['latency_ms']['p99']:.3f} ms")
+
+
+def test_serve_lsh_latency(store, once):
+    lsh = LSHIndex(store, seed=11)
+    sample = store.matrix[keyed_rng(11, 0x524340).choice(V, 128)]
+    recall = recall_at_k(lsh, ExactIndex(store), sample, k=K)
+    row = _bench_index(store, "lsh", lsh, once)
+    row["recall_at_k"] = recall
+    _merge_into_bench_json(row)
+    print(
+        f"\nlsh: {row['throughput_qps']:,.0f} qps, "
+        f"p99 {row['latency_ms']['p99']:.3f} ms, recall@{K} {recall:.3f}"
+    )
+
+
+def test_batched_equals_unbatched_topk(store):
+    """Parity contract: batching is a throughput lever, never a result change."""
+    index = ExactIndex(store)
+    queries = store.matrix[keyed_rng(5, 0x504152).choice(V, 96)]
+    ids_all, scores_all = index.search(queries, K)
+    for i in range(0, len(queries), 17):
+        ids_one, scores_one = index.search(queries[i], K)
+        np.testing.assert_array_equal(ids_one[0], ids_all[i])
+        np.testing.assert_array_equal(scores_one[0], scores_all[i])

@@ -31,6 +31,15 @@ from repro.core import (
     get_combiner,
 )
 from repro.eval import evaluate_analogies, most_similar
+from repro.serve import (
+    EmbeddingStore,
+    ExactIndex,
+    LSHIndex,
+    LoadConfig,
+    QueryEngine,
+    ServeReport,
+    run_load,
+)
 from repro.text import (
     AnalogyQuestionSet,
     Corpus,
@@ -70,5 +79,12 @@ __all__ = [
     "FaultConfig",
     "FaultSchedule",
     "FaultReport",
+    "EmbeddingStore",
+    "ExactIndex",
+    "LSHIndex",
+    "QueryEngine",
+    "LoadConfig",
+    "ServeReport",
+    "run_load",
     "__version__",
 ]

@@ -7,6 +7,7 @@ Subcommands::
     repro neighbors --model M.npz --dataset NAME --word W
     repro eval --model M.npz --dataset NAME
     repro experiment {table1,table2,table3,fig6,fig7,fig8,fig9}
+    repro serve-bench [--model M.npz] [--queries N] [--json FILE]
 
 Invoke as ``python -m repro`` or ``python -m repro.cli``.
 """
@@ -110,6 +111,30 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         choices=["table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9"],
     )
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the serving layer (exact vs LSH) on a trained model",
+    )
+    serve.add_argument("--model", type=Path, help="saved model (.npz); trains fresh if omitted")
+    serve.add_argument("--dataset", default="tiny-sim", help="synthetic preset name")
+    serve.add_argument("--dim", type=int, default=48, help="dim when training fresh")
+    serve.add_argument("--epochs", type=int, default=2, help="epochs when training fresh")
+    serve.add_argument("--queries", type=int, default=512, help="load-run query count")
+    serve.add_argument("--k", type=int, default=10, help="neighbors per query")
+    serve.add_argument("--zipf", type=float, default=1.1, help="query-mix Zipf exponent")
+    serve.add_argument("--max-batch", type=int, default=64, help="engine micro-batch bound")
+    serve.add_argument("--cache-size", type=int, default=256, help="LRU result-cache capacity")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="thread-pool width for batch search (default: serial "
+                            "or the REPRO_WORKERS environment variable)")
+    serve.add_argument("--seed", type=int, default=7, help="workload + LSH seed")
+    serve.add_argument("--lsh-tables", type=int, default=8)
+    serve.add_argument("--lsh-probes", type=int, default=8)
+    serve.add_argument("--json", type=Path, metavar="FILE",
+                       help="write the ServeReports as JSON")
+    serve.add_argument("--trace", type=Path, metavar="FILE",
+                       help="write Chrome-trace events (chrome://tracing)")
     return parser
 
 
@@ -273,6 +298,107 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from repro.experiments import datasets
+    from repro.serve import (
+        EmbeddingStore,
+        ExactIndex,
+        LSHIndex,
+        LoadConfig,
+        QueryEngine,
+        recall_at_k,
+        run_load,
+    )
+    from repro.util.rng import keyed_rng
+    from repro.util.tables import format_table
+    from repro.w2v.model import Word2VecModel
+
+    corpus, _ = datasets.load(args.dataset)
+    if args.model is not None:
+        model = Word2VecModel.from_bytes(args.model.read_bytes())
+        if model.vocab_size != len(corpus.vocabulary):
+            print(
+                f"error: model vocab ({model.vocab_size}) does not match dataset "
+                f"({len(corpus.vocabulary)})",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        from repro.w2v.params import Word2VecParams
+        from repro.w2v.shared_memory import SharedMemoryWord2Vec
+
+        params = Word2VecParams(dim=args.dim, epochs=args.epochs, negatives=6)
+        print(f"training a fresh model on {corpus} ({params})")
+        model = SharedMemoryWord2Vec(corpus, params, seed=args.seed).train()
+
+    store = EmbeddingStore.from_model(model, corpus.vocabulary)
+    exact = ExactIndex(store)
+    lsh = LSHIndex(
+        store, tables=args.lsh_tables, probes=args.lsh_probes, seed=args.seed
+    )
+    sample_rng = keyed_rng(args.seed, 0x524340)  # recall-sample stream
+    sample = store.matrix[sample_rng.choice(len(store), min(128, len(store)))]
+    recall = recall_at_k(lsh, exact, sample, k=args.k)
+    print(
+        f"store: {store}  |  LSH(bits={lsh.bits}, tables={lsh.tables}, "
+        f"probes={lsh.probes}) recall@{args.k} = {recall:.3f}"
+    )
+
+    config = LoadConfig(
+        num_queries=args.queries, k=args.k, zipf_exponent=args.zipf, seed=args.seed
+    )
+    reports = []
+    for label, index in (("exact", exact), ("lsh", lsh)):
+        engine = QueryEngine(
+            index,
+            max_batch=args.max_batch,
+            cache_size=args.cache_size,
+            workers=args.workers,
+        )
+        reports.append(run_load(engine, config, index_label=label))
+
+    rows = []
+    for report in reports:
+        latency = report.latency_percentiles_ms()
+        rows.append(
+            [
+                report.index_label,
+                report.num_queries,
+                float(report.throughput_qps),
+                latency["p50"],
+                latency["p95"],
+                latency["p99"],
+                f"{report.cache_hit_rate:.1%}",
+            ]
+        )
+    print(
+        format_table(
+            ["index", "queries", "qps", "p50 ms", "p95 ms", "p99 ms", "cache hits"],
+            rows,
+            title=f"serve-bench · {args.dataset} · seed {args.seed}",
+        )
+    )
+    for report in reports:
+        print(report.summary())
+    if args.json is not None:
+        payload = {
+            "dataset": args.dataset,
+            "recall_at_k": recall,
+            "reports": [r.as_dict() for r in reports],
+        }
+        args.json.write_text(json.dumps(payload, indent=2))
+        print(f"reports written to {args.json}")
+    if args.trace is not None:
+        events = [
+            e for tid, r in enumerate(reports) for e in r.chrome_trace_events(tid)
+        ]
+        args.trace.write_text(json.dumps({"traceEvents": events}))
+        print(f"trace written to {args.trace}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -281,6 +407,7 @@ def main(argv: list[str] | None = None) -> int:
         "neighbors": _cmd_neighbors,
         "eval": _cmd_eval,
         "experiment": _cmd_experiment,
+        "serve-bench": _cmd_serve_bench,
     }
     return handlers[args.command](args)
 

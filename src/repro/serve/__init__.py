@@ -1,0 +1,45 @@
+"""Embedding serving: the inference side of the stack.
+
+Training (``repro.w2v``) produces a dense embedding matrix; this package
+serves nearest-neighbor queries over it at scale:
+
+- :mod:`repro.serve.store` — :class:`EmbeddingStore`, an immutable,
+  memory-mappable snapshot of a trained embedding (float32 matrix +
+  pre-computed L2 norms + word table) with ``save``/``open`` so serving
+  never re-parses text formats,
+- :mod:`repro.serve.index` — the :class:`Index` search contract with an
+  exact blocked-matmul top-k (:class:`ExactIndex`) and a seeded
+  random-hyperplane LSH approximation (:class:`LSHIndex`), plus
+  :func:`recall_at_k` to measure the accuracy/speed tradeoff,
+- :mod:`repro.serve.engine` — :class:`QueryEngine`, micro-batching with a
+  bounded LRU result cache, executing batches on a
+  :class:`~repro.galois.do_all.DoAllExecutor`,
+- :mod:`repro.serve.loadgen` — a seed-deterministic load generator
+  (Zipf query mix, fixed arrival schedule) emitting a
+  :class:`ServeReport` (throughput, latency percentiles, cache hit rate)
+  as JSON and Chrome-trace events.
+
+Everything modeled (query answers, batch composition, cache accounting)
+is a pure function of the seed; only measured wall-clock fields
+(latency, throughput) vary run to run.
+"""
+
+from repro.serve.engine import CacheStats, EngineStats, LRUCache, QueryEngine
+from repro.serve.index import ExactIndex, Index, LSHIndex, recall_at_k
+from repro.serve.loadgen import LoadConfig, ServeReport, run_load
+from repro.serve.store import EmbeddingStore
+
+__all__ = [
+    "EmbeddingStore",
+    "Index",
+    "ExactIndex",
+    "LSHIndex",
+    "recall_at_k",
+    "QueryEngine",
+    "LRUCache",
+    "CacheStats",
+    "EngineStats",
+    "LoadConfig",
+    "ServeReport",
+    "run_load",
+]

@@ -1,0 +1,275 @@
+"""Top-k cosine indexes over an :class:`~repro.serve.store.EmbeddingStore`.
+
+Two implementations behind one :class:`Index` contract:
+
+- :class:`ExactIndex` — brute-force cosine top-k as one *batched* blocked
+  matmul (the batched-kernel formulation: many queries amortize one pass
+  over the matrix, and the vocabulary is walked in cache-sized row blocks
+  so memory stays bounded at ``queries x block`` instead of
+  ``queries x V``).
+- :class:`LSHIndex` — random-hyperplane locality-sensitive hashing:
+  every table hashes each row to a ``bits``-wide sign signature of
+  projections onto seeded hyperplanes; queries probe their own bucket
+  plus the ``probes`` single-bit flips with the smallest projection
+  margin (multi-probe), then the candidate union is *exactly* rescored.
+  Hyperplanes derive from the seed tree (:func:`repro.util.rng.keyed_rng`),
+  so an index is a pure function of ``(store, seed, shape knobs)``.
+
+Both tie-break identically — descending score, then ascending row id —
+so results are bit-reproducible across batch sizes, block sizes and
+executors.  :func:`recall_at_k` measures an approximate index against an
+exact one on the same queries.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.serve.store import EmbeddingStore
+from repro.util.rng import DEFAULT_SEED, keyed_rng
+
+__all__ = ["Index", "ExactIndex", "LSHIndex", "recall_at_k", "top_k_desc"]
+
+#: Domain tag mixed into LSH seed derivation so the hyperplane streams never
+#: collide with other consumers of the same root seed.
+_LSH_DOMAIN = 0x4C5348  # "LSH"
+
+
+def top_k_desc(scores: np.ndarray, ids: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row top-``k`` of ``(scores, ids)`` candidates, deterministically.
+
+    ``scores``/``ids`` are ``(n, m)`` parallel candidate arrays; rows with
+    fewer than ``k`` real candidates are padded with ``id -1 / score -inf``
+    by the caller.  Order is descending score with ascending id breaking
+    ties, which makes results independent of candidate arrangement.
+    """
+    k = min(k, scores.shape[1])
+    order = np.lexsort((ids, -scores), axis=-1)[:, :k]
+    rows = np.arange(scores.shape[0])[:, None]
+    return ids[rows, order], scores[rows, order]
+
+
+def _normalize_queries(queries: np.ndarray, dim: int) -> np.ndarray:
+    queries = np.ascontiguousarray(np.atleast_2d(queries), dtype=np.float32)
+    if queries.ndim != 2 or queries.shape[1] != dim:
+        raise ValueError(
+            f"queries must be (n, {dim}), got shape {queries.shape}"
+        )
+    norms = np.linalg.norm(queries, axis=1, keepdims=True)
+    return queries / np.where(norms > 0, norms, 1.0)
+
+
+@runtime_checkable
+class Index(Protocol):
+    """Search contract: batched cosine top-k over a store.
+
+    ``search`` takes raw (unnormalized) query vectors ``(n, dim)`` and
+    returns ``(ids, scores)`` arrays of shape ``(n, k)``: row ids into the
+    store ordered by descending cosine (ascending id on ties), and the
+    cosine scores.  Rows an approximate index could not fill are padded
+    with ``id -1`` and ``score -inf``.
+    """
+
+    @property
+    def store(self) -> EmbeddingStore: ...  # pragma: no cover - protocol
+
+    def search(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]: ...  # pragma: no cover - protocol
+
+
+class ExactIndex:
+    """Blocked brute-force cosine top-k.
+
+    ``block_rows`` bounds the score buffer: the normalized store matrix is
+    walked block by block, each block's partial top-k merged into the
+    running best.  Queries are processed in fixed ``query_block``-row
+    tiles, the last tile zero-padded to full width, so every matmul the
+    index issues has an identical shape no matter how callers batch their
+    queries.  BLAS kernels round differently for different shapes; pinning
+    the shape makes results *bit-identical* whether a query arrives alone
+    or inside any batch — the parity the serving layer's determinism
+    contract relies on.
+    """
+
+    def __init__(
+        self, store: EmbeddingStore, block_rows: int = 8192, query_block: int = 32
+    ):
+        if block_rows <= 0:
+            raise ValueError(f"block_rows must be positive, got {block_rows}")
+        if query_block <= 0:
+            raise ValueError(f"query_block must be positive, got {query_block}")
+        self._store = store
+        self.block_rows = int(block_rows)
+        self.query_block = int(query_block)
+
+    @property
+    def store(self) -> EmbeddingStore:
+        return self._store
+
+    def _search_tile(self, tile: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Top-k for one full ``(query_block, dim)`` tile."""
+        normalized = self._store.normalized()
+        V = normalized.shape[0]
+        n = tile.shape[0]
+        best_ids = np.full((n, k), -1, dtype=np.int64)
+        best_scores = np.full((n, k), -np.inf, dtype=np.float32)
+        rows = np.arange(n)[:, None]
+        for start in range(0, V, self.block_rows):
+            block = normalized[start : start + self.block_rows]
+            scores = tile @ block.T  # (query_block, block) — the batched kernel
+            width = min(k, scores.shape[1])
+            if width < scores.shape[1]:
+                part = np.argpartition(-scores, width - 1, axis=1)[:, :width]
+            else:
+                part = np.broadcast_to(np.arange(scores.shape[1]), scores.shape)
+            cand_ids = np.concatenate(
+                [best_ids, (part + start).astype(np.int64)], axis=1
+            )
+            cand_scores = np.concatenate(
+                [best_scores, scores[rows, part].astype(np.float32)], axis=1
+            )
+            best_ids, best_scores = top_k_desc(cand_scores, cand_ids, k)
+        return best_ids, best_scores
+
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        V = len(self._store)
+        k = min(k, V)
+        q = _normalize_queries(queries, self._store.dim)
+        n = q.shape[0]
+        out_ids = np.empty((n, k), dtype=np.int64)
+        out_scores = np.empty((n, k), dtype=np.float32)
+        for start in range(0, n, self.query_block):
+            tile = q[start : start + self.query_block]
+            fill = tile.shape[0]
+            if fill < self.query_block:
+                tile = np.concatenate(
+                    [tile, np.zeros((self.query_block - fill, q.shape[1]), q.dtype)]
+                )
+            ids, scores = self._search_tile(np.ascontiguousarray(tile), k)
+            out_ids[start : start + fill] = ids[:fill]
+            out_scores[start : start + fill] = scores[:fill]
+        return out_ids, out_scores
+
+
+class LSHIndex:
+    """Random-hyperplane LSH with multi-probe and exact rescoring.
+
+    ``bits`` defaults to a store-sized choice (aiming at ~16 rows per
+    bucket, capped to 24) so small vocabularies do not shatter into empty
+    buckets; ``tables`` independent hash tables and ``probes`` extra
+    single-bit-flip probes per table trade recall for candidate volume.
+    Candidates from all tables are unioned and rescored with true cosine,
+    so returned scores are exact — only the candidate set is approximate.
+    """
+
+    def __init__(
+        self,
+        store: EmbeddingStore,
+        bits: int | None = None,
+        tables: int = 8,
+        probes: int = 8,
+        seed: int = DEFAULT_SEED,
+    ):
+        if bits is None:
+            bits = int(np.clip(np.ceil(np.log2(max(len(store), 2) / 16)), 2, 24))
+        if not 1 <= bits <= 62:
+            raise ValueError(f"bits must be in [1, 62], got {bits}")
+        if tables <= 0:
+            raise ValueError(f"tables must be positive, got {tables}")
+        if probes < 0:
+            raise ValueError(f"probes must be non-negative, got {probes}")
+        self._store = store
+        self.bits = int(bits)
+        self.tables = int(tables)
+        self.probes = min(int(probes), self.bits)
+        self.seed = int(seed)
+        normalized = store.normalized()
+        self._planes: list[np.ndarray] = []
+        self._buckets: list[dict[int, np.ndarray]] = []
+        weights = (1 << np.arange(self.bits, dtype=np.int64))
+        for table in range(self.tables):
+            rng = keyed_rng(self.seed, _LSH_DOMAIN, table)
+            planes = rng.standard_normal((self.bits, store.dim)).astype(np.float32)
+            self._planes.append(planes)
+            signatures = ((normalized @ planes.T) >= 0) @ weights
+            buckets: dict[int, np.ndarray] = {}
+            order = np.argsort(signatures, kind="stable")
+            sorted_sigs = signatures[order]
+            boundaries = np.flatnonzero(np.diff(sorted_sigs)) + 1
+            for group in np.split(order, boundaries):
+                buckets[int(signatures[group[0]])] = np.sort(group).astype(np.int64)
+            self._buckets.append(buckets)
+
+    @property
+    def store(self) -> EmbeddingStore:
+        return self._store
+
+    def candidates(self, query: np.ndarray) -> np.ndarray:
+        """Sorted unique candidate row ids for one (raw) query vector."""
+        q = _normalize_queries(query, self._store.dim)[0]
+        found: list[np.ndarray] = []
+        for planes, buckets in zip(self._planes, self._buckets):
+            proj = planes @ q
+            sig = int(((proj >= 0) @ (1 << np.arange(self.bits, dtype=np.int64))))
+            probe_sigs = [sig]
+            # Multi-probe: flip the bits whose projection margin is
+            # smallest — the most likely signs to differ for near
+            # neighbors.
+            flip_order = np.argsort(np.abs(proj), kind="stable")
+            for bit in flip_order[: self.probes]:
+                probe_sigs.append(sig ^ (1 << int(bit)))
+            for probe in probe_sigs:
+                hit = buckets.get(probe)
+                if hit is not None:
+                    found.append(hit)
+        if not found:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(found))
+
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        normalized = self._store.normalized()
+        k = min(k, len(self._store))
+        q = _normalize_queries(queries, self._store.dim)
+        n = q.shape[0]
+        out_ids = np.full((n, k), -1, dtype=np.int64)
+        out_scores = np.full((n, k), -np.inf, dtype=np.float32)
+        for i in range(n):
+            cands = self.candidates(q[i])
+            if cands.size == 0:
+                continue
+            scores = (normalized[cands] @ q[i]).astype(np.float32)
+            ids, scores = top_k_desc(scores[None, :], cands[None, :], k)
+            width = ids.shape[1]
+            out_ids[i, :width] = ids[0]
+            out_scores[i, :width] = scores[0]
+        return out_ids, out_scores
+
+
+def recall_at_k(
+    approx: Index, exact: Index, queries: np.ndarray, k: int = 10
+) -> float:
+    """Fraction of the exact top-``k`` the approximate index recovers.
+
+    Averaged over queries; the standard recall@k score for ANN indexes.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    exact_ids, _ = exact.search(queries, k)
+    approx_ids, _ = approx.search(queries, k)
+    hits = 0
+    total = 0
+    for row in range(exact_ids.shape[0]):
+        truth = set(int(i) for i in exact_ids[row] if i >= 0)
+        if not truth:
+            continue
+        got = set(int(i) for i in approx_ids[row] if i >= 0)
+        hits += len(truth & got)
+        total += len(truth)
+    return hits / total if total else 1.0

@@ -1,0 +1,290 @@
+"""Seed-deterministic load generation and the serving report.
+
+:func:`run_load` drives a :class:`~repro.serve.engine.QueryEngine` with a
+reproducible workload: a Zipf-distributed query mix over the store's rows
+(rank = row id + 1, exponent configurable — heavy-tail traffic like real
+query logs) and a fixed arrival schedule (exponential inter-arrival gaps
+at a modeled QPS).  Both streams derive from the config seed via
+:func:`repro.util.rng.keyed_rng`, so the *modeled* side of a run — which
+words are asked, how the stream chops into batches, which lookups hit the
+cache, and every answer — is a pure function of ``(seed, config, engine
+knobs)`` and is bit-identical for any ``workers`` setting.
+
+The resulting :class:`ServeReport` separates that modeled core (exposed
+by :meth:`ServeReport.modeled`, what determinism tests pin) from measured
+wall-clock fields (throughput, p50/p95/p99 latency), and exports as JSON
+(:meth:`ServeReport.to_json`) and as Chrome-trace events
+(:meth:`ServeReport.chrome_trace_events`) alongside the trainer's
+:mod:`repro.cluster.trace` output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.galois.timers import StatTimer
+from repro.serve.engine import QueryEngine
+from repro.util.rng import DEFAULT_SEED, keyed_rng
+
+__all__ = ["LoadConfig", "ServeReport", "generate_queries", "run_load"]
+
+#: Domain tags keeping the load generator's RNG streams disjoint from
+#: every other consumer of the same root seed.
+_MIX_DOMAIN = 0x51524D  # "QRM" — query mix
+_ARRIVAL_DOMAIN = 0x415256  # "ARV" — arrival schedule
+
+_US = 1e6
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load run: how many queries, their mix, and the modeled arrivals.
+
+    ``zipf_exponent`` shapes the popularity skew (1.0-1.3 matches web
+    query logs); ``arrival_qps`` is the *modeled* offered rate that
+    timestamps the Chrome trace — execution itself is closed-loop.
+    """
+
+    num_queries: int = 512
+    k: int = 10
+    zipf_exponent: float = 1.1
+    arrival_qps: float = 2000.0
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.num_queries <= 0:
+            raise ValueError(f"num_queries must be positive, got {self.num_queries}")
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.zipf_exponent < 0:
+            raise ValueError(
+                f"zipf_exponent must be non-negative, got {self.zipf_exponent}"
+            )
+        if self.arrival_qps <= 0:
+            raise ValueError(f"arrival_qps must be positive, got {self.arrival_qps}")
+
+
+def generate_queries(vocab_size: int, config: LoadConfig) -> np.ndarray:
+    """The deterministic query-id stream for ``config`` (Zipf over rows)."""
+    if vocab_size <= 0:
+        raise ValueError(f"vocab_size must be positive, got {vocab_size}")
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    weights = ranks ** -config.zipf_exponent
+    probabilities = weights / weights.sum()
+    rng = keyed_rng(config.seed, _MIX_DOMAIN)
+    return rng.choice(vocab_size, size=config.num_queries, p=probabilities)
+
+
+def _arrival_times_us(config: LoadConfig) -> np.ndarray:
+    """Modeled arrival timestamps (microseconds), fixed by the seed."""
+    rng = keyed_rng(config.seed, _ARRIVAL_DOMAIN)
+    gaps = rng.exponential(1.0 / config.arrival_qps, size=config.num_queries)
+    return np.cumsum(gaps) * _US
+
+
+@dataclass
+class ServeReport:
+    """What one load run asked, answered, and cost.
+
+    Modeled fields (everything :meth:`modeled` returns) are bit-stable
+    across runs with the same seed and engine configuration, regardless
+    of executor width; measured fields (``total_seconds``, throughput,
+    latency percentiles) are real wall-clock and vary run to run.
+    """
+
+    index_label: str
+    num_queries: int
+    k: int
+    seed: int
+    batch_sizes: list[int]
+    batch_seconds: list[float]
+    batch_arrival_us: list[float]
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    answers_sha256: str
+    total_seconds: float
+    max_batch: int
+    search_block: int
+    extras: dict = field(default_factory=dict)
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def throughput_qps(self) -> float:
+        return self.num_queries / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def batch_size_histogram(self) -> dict[int, int]:
+        hist: dict[int, int] = {}
+        for size in self.batch_sizes:
+            hist[size] = hist.get(size, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def _per_query_seconds(self) -> np.ndarray:
+        return np.repeat(
+            np.asarray(self.batch_seconds, dtype=np.float64),
+            np.asarray(self.batch_sizes, dtype=np.int64),
+        )
+
+    def latency_percentiles_ms(self) -> dict[str, float]:
+        """p50/p95/p99 of per-query service time (its batch's latency)."""
+        per_query = self._per_query_seconds()
+        if per_query.size == 0:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        p50, p95, p99 = np.percentile(per_query, [50, 95, 99]) * 1e3
+        return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+    def modeled(self) -> dict:
+        """The deterministic core: identical for identical seeds/configs."""
+        return {
+            "index": self.index_label,
+            "num_queries": self.num_queries,
+            "k": self.k,
+            "seed": self.seed,
+            "max_batch": self.max_batch,
+            "search_block": self.search_block,
+            "batch_sizes": list(self.batch_sizes),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "answers_sha256": self.answers_sha256,
+        }
+
+    # -- export ------------------------------------------------------------
+    def as_dict(self) -> dict:
+        latency = self.latency_percentiles_ms()
+        return {
+            "modeled": self.modeled(),
+            "measured": {
+                "total_seconds": self.total_seconds,
+                "throughput_qps": self.throughput_qps,
+                "latency_ms": latency,
+                "batch_seconds": list(self.batch_seconds),
+            },
+            "cache_hit_rate": self.cache_hit_rate,
+            "batch_size_histogram": {
+                str(size): count
+                for size, count in self.batch_size_histogram().items()
+            },
+            "extras": dict(self.extras),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def chrome_trace_events(self, tid: int = 0) -> list[dict]:
+        """Complete 'X' events, one per batch, on a dedicated engine row.
+
+        Timestamps come from the *modeled* arrival schedule (the batch's
+        first query), durations from measured batch latency — the same
+        convention as :mod:`repro.cluster.trace`, where modeled and
+        measured time share a timeline.  ``tid`` picks the row, so
+        several reports can merge into one trace.
+        """
+        events: list[dict] = []
+        for index, (size, seconds, arrival) in enumerate(
+            zip(self.batch_sizes, self.batch_seconds, self.batch_arrival_us)
+        ):
+            events.append(
+                {
+                    "name": f"batch {index}",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": float(arrival),
+                    "dur": float(seconds) * _US,
+                    "cat": "serve",
+                    "args": {"queries": int(size), "index": self.index_label},
+                }
+            )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": f"serve engine ({self.index_label})"},
+            }
+        )
+        return events
+
+    def trace_json(self) -> str:
+        return json.dumps({"traceEvents": self.chrome_trace_events()})
+
+    def summary(self) -> str:
+        latency = self.latency_percentiles_ms()
+        return (
+            f"{self.index_label}: {self.num_queries} queries, "
+            f"{self.throughput_qps:,.0f} qps, "
+            f"p50 {latency['p50']:.3f}ms p95 {latency['p95']:.3f}ms "
+            f"p99 {latency['p99']:.3f}ms, "
+            f"cache hit rate {self.cache_hit_rate:.1%}"
+        )
+
+
+def _fingerprint(words: list[str], results: list[tuple[np.ndarray, np.ndarray]]) -> str:
+    digest = hashlib.sha256()
+    for word, (ids, scores) in zip(words, results):
+        digest.update(word.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(np.ascontiguousarray(ids, dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(scores, dtype=np.float32).tobytes())
+    return digest.hexdigest()
+
+
+def run_load(
+    engine: QueryEngine,
+    config: LoadConfig | None = None,
+    index_label: str = "index",
+) -> ServeReport:
+    """Drive ``engine`` with the workload of ``config``; report the run.
+
+    The engine's stats are reset first so the report covers exactly this
+    run.  Queries are submitted in schedule order (the engine's
+    ``max_batch`` chops them into batches) and a final flush drains the
+    tail.
+    """
+    config = config or LoadConfig()
+    store = engine.index.store
+    query_ids = generate_queries(len(store), config)
+    words = [store.word_of(int(i)) for i in query_ids]
+    arrivals = _arrival_times_us(config)
+
+    engine.reset_stats()
+    wall = StatTimer("serve.load")
+    with wall:
+        tickets = [engine.submit(word, config.k) for word in words]
+        engine.flush()
+    results = [t.result for t in tickets]
+
+    stats = engine.stats
+    # The modeled arrival of each batch is its first query's timestamp.
+    batch_arrivals: list[float] = []
+    cursor = 0
+    for size in stats.batch_sizes:
+        batch_arrivals.append(float(arrivals[cursor]))
+        cursor += size
+    return ServeReport(
+        index_label=index_label,
+        num_queries=config.num_queries,
+        k=config.k,
+        seed=config.seed,
+        batch_sizes=list(stats.batch_sizes),
+        batch_seconds=list(stats.batch_seconds),
+        batch_arrival_us=batch_arrivals,
+        cache_hits=stats.cache.hits,
+        cache_misses=stats.cache.misses,
+        cache_evictions=stats.cache.evictions,
+        answers_sha256=_fingerprint(words, results),
+        total_seconds=wall.total,
+        max_batch=engine.max_batch,
+        search_block=engine.search_block,
+    )

@@ -1,0 +1,252 @@
+"""Immutable embedding snapshots for serving.
+
+An :class:`EmbeddingStore` is the unit a serving process loads: the float32
+embedding matrix, its pre-computed row L2 norms, and the word table, frozen
+read-only.  Stores are built once from a trained model, a checkpoint, or a
+word2vec text file, then persisted with :meth:`EmbeddingStore.save` so that
+serving never re-parses text formats:
+
+- ``format="npz"`` — one compressed ``vectors.npz`` (matrix + norms),
+- ``format="raw"`` — raw little-endian float32 files that
+  :meth:`EmbeddingStore.open` can memory-map, for stores larger than RAM.
+
+Both layouts live in a directory next to a ``meta.json`` sidecar carrying
+the word table and shape, which is validated against the arrays on open.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence, TextIO
+
+import numpy as np
+
+from repro.text.vocab import Vocabulary
+from repro.w2v.model import Word2VecModel
+
+__all__ = ["EmbeddingStore"]
+
+_FORMAT_VERSION = 1
+_META_NAME = "meta.json"
+_NPZ_NAME = "vectors.npz"
+_RAW_MATRIX_NAME = "vectors.f32"
+_RAW_NORMS_NAME = "norms.f32"
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+class EmbeddingStore:
+    """Read-only ``(matrix, norms, words)`` triple serving queries.
+
+    ``matrix`` is ``(V, dim)`` float32 (row ``i`` is word ``words[i]``);
+    ``norms`` is the per-row L2 norm, pre-computed so indexes never pay the
+    reduction at query time.  All arrays are exposed as read-only views —
+    a store is a snapshot, never a live model.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        words: Sequence[str],
+        norms: np.ndarray | None = None,
+    ):
+        matrix = np.ascontiguousarray(matrix, dtype=np.float32)
+        if matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+        words = list(words)
+        if len(words) != matrix.shape[0]:
+            raise ValueError(
+                f"word table has {len(words)} entries for {matrix.shape[0]} rows"
+            )
+        ids: dict[str, int] = {}
+        for row, word in enumerate(words):
+            if word in ids:
+                raise ValueError(f"duplicate word {word!r} (rows {ids[word]} and {row})")
+            ids[word] = row
+        if norms is None:
+            norms = np.linalg.norm(matrix, axis=1)
+        norms = np.ascontiguousarray(norms, dtype=np.float32)
+        if norms.shape != (matrix.shape[0],):
+            raise ValueError(
+                f"norms shape {norms.shape} does not match {matrix.shape[0]} rows"
+            )
+        self._matrix = _frozen(matrix)
+        self._norms = _frozen(norms)
+        self._words = words
+        self._ids = ids
+        self._normalized: np.ndarray | None = None
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_model(
+        cls, model: Word2VecModel | np.ndarray, vocabulary: Vocabulary
+    ) -> "EmbeddingStore":
+        """Snapshot a trained model's embedding layer (copies the matrix)."""
+        matrix = model.embedding if isinstance(model, Word2VecModel) else np.asarray(model)
+        if matrix.ndim != 2 or matrix.shape[0] != len(vocabulary):
+            raise ValueError(
+                f"embedding shape {matrix.shape} does not match vocabulary "
+                f"size {len(vocabulary)}"
+            )
+        words = [vocabulary.word_of(i) for i in range(len(vocabulary))]
+        return cls(np.array(matrix, dtype=np.float32), words)
+
+    @classmethod
+    def from_checkpoint(cls, blob: bytes, vocabulary: Vocabulary) -> "EmbeddingStore":
+        """Snapshot the canonical model inside a training checkpoint."""
+        from repro.w2v.io import load_checkpoint_blob
+
+        return cls.from_model(load_checkpoint_blob(blob).model, vocabulary)
+
+    @classmethod
+    def from_word2vec_text(cls, source: TextIO | str) -> "EmbeddingStore":
+        """Build from a word2vec text file (one parse, then :meth:`save`)."""
+        from repro.w2v.io import load_word2vec_text
+
+        words, vectors = load_word2vec_text(source)
+        return cls(vectors, words)
+
+    # -- lookups -----------------------------------------------------------
+    def __len__(self) -> int:
+        return self._matrix.shape[0]
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._ids
+
+    @property
+    def dim(self) -> int:
+        return self._matrix.shape[1]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+    @property
+    def norms(self) -> np.ndarray:
+        return self._norms
+
+    @property
+    def words(self) -> list[str]:
+        return list(self._words)
+
+    def id_of(self, word: str) -> int:
+        try:
+            return self._ids[word]
+        except KeyError:
+            raise KeyError(f"word {word!r} not in store") from None
+
+    def word_of(self, row: int) -> str:
+        if not 0 <= row < len(self._words):
+            raise IndexError(f"row {row} out of range for {len(self._words)} words")
+        return self._words[row]
+
+    def vector(self, word: str) -> np.ndarray:
+        """The raw embedding row for ``word`` (read-only view)."""
+        return self._matrix[self.id_of(word)]
+
+    def normalized(self) -> np.ndarray:
+        """Row-normalized matrix (computed once, cached, read-only).
+
+        Zero rows stay zero rather than dividing by zero, matching
+        :meth:`repro.w2v.model.Word2VecModel.normalized_embedding`.
+        """
+        if self._normalized is None:
+            safe = np.where(self._norms > 0, self._norms, 1.0)
+            self._normalized = _frozen(
+                (self._matrix / safe[:, None]).astype(np.float32)
+            )
+        return self._normalized
+
+    def memory_bytes(self) -> int:
+        return int(self._matrix.nbytes + self._norms.nbytes)
+
+    # -- persistence -------------------------------------------------------
+    def save(self, directory: str | Path, format: str = "npz") -> Path:
+        """Persist under ``directory`` (created if missing); returns the path.
+
+        ``format="npz"`` writes one compressed archive; ``format="raw"``
+        writes plain little-endian float32 files that :meth:`open` can
+        memory-map.  Either way ``meta.json`` carries the word table.
+        """
+        if format not in ("npz", "raw"):
+            raise ValueError(f"unknown store format {format!r} (use 'npz' or 'raw')")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "format_version": _FORMAT_VERSION,
+            "format": format,
+            "vocab_size": len(self),
+            "dim": self.dim,
+            "dtype": "<f4",
+            "words": self._words,
+        }
+        if format == "npz":
+            with open(directory / _NPZ_NAME, "wb") as handle:
+                np.savez_compressed(handle, matrix=self._matrix, norms=self._norms)
+        else:
+            matrix = np.ascontiguousarray(self._matrix, dtype="<f4")
+            norms = np.ascontiguousarray(self._norms, dtype="<f4")
+            (directory / _RAW_MATRIX_NAME).write_bytes(matrix.tobytes())
+            (directory / _RAW_NORMS_NAME).write_bytes(norms.tobytes())
+        (directory / _META_NAME).write_text(
+            json.dumps(meta, ensure_ascii=False), encoding="utf-8"
+        )
+        return directory
+
+    @classmethod
+    def open(cls, directory: str | Path, mmap: bool = False) -> "EmbeddingStore":
+        """Load a saved store; ``mmap=True`` maps raw-format matrices.
+
+        Shapes in ``meta.json`` are validated against the arrays so a
+        truncated or mismatched store fails loudly instead of serving
+        garbage.
+        """
+        directory = Path(directory)
+        meta_path = directory / _META_NAME
+        if not meta_path.is_file():
+            raise FileNotFoundError(f"no {_META_NAME} under {directory}")
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported store format_version {meta.get('format_version')!r}"
+            )
+        fmt = meta.get("format")
+        V, dim = int(meta["vocab_size"]), int(meta["dim"])
+        words = meta["words"]
+        if len(words) != V:
+            raise ValueError(
+                f"meta.json lists {len(words)} words but vocab_size is {V}"
+            )
+        if fmt == "npz":
+            if mmap:
+                raise ValueError("mmap=True requires a raw-format store")
+            with np.load(directory / _NPZ_NAME) as data:
+                matrix, norms = data["matrix"], data["norms"]
+        elif fmt == "raw":
+            shape_bytes = V * dim * 4
+            matrix_path = directory / _RAW_MATRIX_NAME
+            if matrix_path.stat().st_size != shape_bytes:
+                raise ValueError(
+                    f"{_RAW_MATRIX_NAME} is {matrix_path.stat().st_size} bytes, "
+                    f"expected {shape_bytes} for a {V}x{dim} float32 matrix"
+                )
+            if mmap:
+                matrix = np.memmap(matrix_path, dtype="<f4", mode="r", shape=(V, dim))
+            else:
+                matrix = np.fromfile(matrix_path, dtype="<f4").reshape(V, dim)
+            norms = np.fromfile(directory / _RAW_NORMS_NAME, dtype="<f4")
+        else:
+            raise ValueError(f"unknown store format {fmt!r} in meta.json")
+        if matrix.shape != (V, dim):
+            raise ValueError(
+                f"stored matrix shape {matrix.shape} does not match meta ({V}, {dim})"
+            )
+        return cls(matrix, words, norms=norms)
+
+    def __repr__(self) -> str:
+        return f"EmbeddingStore(words={len(self)}, dim={self.dim})"

@@ -149,8 +149,12 @@ def load_checkpoint_blob(blob: bytes) -> CheckpointState:
 def load_word2vec_text(source: TextIO | str) -> tuple[list[str], np.ndarray]:
     """Read a word2vec text file; returns ``(words, vectors)``.
 
-    ``vectors[i]`` corresponds to ``words[i]`` in file order.  Malformed
-    headers or rows raise ``ValueError`` with the offending line number.
+    ``vectors[i]`` corresponds to ``words[i]`` in file order.  The header
+    is validated against the content: malformed or non-integer headers,
+    rows whose width disagrees with ``dim``, duplicate words, truncated
+    files and files with more rows than the header declares all raise
+    ``ValueError`` naming the offending line, instead of silently
+    misparsing.
     """
     handle: TextIO
     close = False
@@ -163,10 +167,16 @@ def load_word2vec_text(source: TextIO | str) -> tuple[list[str], np.ndarray]:
         header = handle.readline().split()
         if len(header) != 2:
             raise ValueError("malformed header: expected '<vocab> <dim>'")
-        V, dim = int(header[0]), int(header[1])
+        try:
+            V, dim = int(header[0]), int(header[1])
+        except ValueError:
+            raise ValueError(
+                f"malformed header: non-integer vocab/dim {header!r}"
+            ) from None
         if V <= 0 or dim <= 0:
             raise ValueError(f"invalid dimensions in header: {V} x {dim}")
         words: list[str] = []
+        seen: dict[str, int] = {}
         vectors = np.empty((V, dim), dtype=np.float32)
         for i in range(V):
             line = handle.readline()
@@ -177,8 +187,26 @@ def load_word2vec_text(source: TextIO | str) -> tuple[list[str], np.ndarray]:
                 raise ValueError(
                     f"line {i + 2}: expected word + {dim} values, got {len(parts) - 1}"
                 )
-            words.append(parts[0])
-            vectors[i] = [float(x) for x in parts[1:]]
+            word = parts[0]
+            if word in seen:
+                raise ValueError(
+                    f"line {i + 2}: duplicate word {word!r} "
+                    f"(first seen on line {seen[word] + 2})"
+                )
+            seen[word] = i
+            words.append(word)
+            try:
+                vectors[i] = [float(x) for x in parts[1:]]
+            except ValueError:
+                raise ValueError(
+                    f"line {i + 2}: non-numeric vector component for {word!r}"
+                ) from None
+        trailing = handle.readline()
+        if trailing.strip():
+            raise ValueError(
+                f"header declares {V} rows but the file has more; "
+                "vocab size and content disagree"
+            )
         return words, vectors
     finally:
         if close:

@@ -23,6 +23,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.model is None
+        assert args.dataset == "tiny-sim"
+        assert args.queries == 512
+        assert args.k == 10
+        assert args.max_batch == 64
+        assert args.cache_size == 256
+        assert args.lsh_tables == 8 and args.lsh_probes == 8
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -152,6 +162,56 @@ class TestCommands:
         path.write_bytes(model.to_bytes())
         code = main(
             ["neighbors", "--model", str(path), "--dataset", "tiny-sim", "--word", "x"]
+        )
+        assert code == 2
+        assert "does not match" in capsys.readouterr().err
+
+    def test_serve_bench_end_to_end(self, tmp_path, capsys):
+        import json
+
+        model_path = tmp_path / "model.npz"
+        main(
+            [
+                "train", "--dataset", "tiny-sim", "--dim", "16", "--epochs", "1",
+                "--negatives", "4", "--subsample", "1e-2",
+                "--save", str(model_path),
+            ]
+        )
+        capsys.readouterr()
+        json_path = tmp_path / "serve.json"
+        trace_path = tmp_path / "serve.trace.json"
+        code = main(
+            [
+                "serve-bench", "--model", str(model_path), "--dataset", "tiny-sim",
+                "--queries", "64", "--k", "5", "--max-batch", "16",
+                "--cache-size", "32",
+                "--json", str(json_path), "--trace", str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recall@5" in out
+        assert "serve-bench" in out and "p99" in out
+
+        payload = json.loads(json_path.read_text())
+        assert payload["dataset"] == "tiny-sim"
+        assert 0.0 <= payload["recall_at_k"] <= 1.0
+        labels = {r["modeled"]["index"] for r in payload["reports"]}
+        assert labels == {"exact", "lsh"}
+        for report in payload["reports"]:
+            assert report["modeled"]["num_queries"] == 64
+            assert set(report["measured"]["latency_ms"]) == {"p50", "p95", "p99"}
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+
+    def test_serve_bench_vocab_mismatch(self, tmp_path, capsys):
+        from repro.w2v.model import Word2VecModel
+
+        model = Word2VecModel.initialize(5, 4, np.random.default_rng(0))
+        path = tmp_path / "wrong.npz"
+        path.write_bytes(model.to_bytes())
+        code = main(
+            ["serve-bench", "--model", str(path), "--dataset", "tiny-sim"]
         )
         assert code == 2
         assert "does not match" in capsys.readouterr().err

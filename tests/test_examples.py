@@ -34,6 +34,7 @@ def test_examples_exist():
         "custom_corpus.py",
         "node_embeddings.py",
         "fault_injection.py",
+        "serve_embeddings.py",
     } <= names
 
 
@@ -62,3 +63,11 @@ def test_fault_injection_example():
     out = run_example("fault_injection.py")
     assert "bitwise identical to the fault-free run" in out
     assert "pinned-schedule run matches too" in out
+
+
+@pytest.mark.slow
+def test_serve_embeddings_example():
+    out = run_example("serve_embeddings.py")
+    assert "store round-trip ok" in out
+    assert "recall@10" in out
+    assert "modeled results identical across runs and worker counts" in out

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.embeddings",
     "repro.eval",
     "repro.cluster",
+    "repro.serve",
     "repro.experiments",
     "repro.util",
     "repro.analysis",

@@ -1,0 +1,184 @@
+"""ExactIndex / LSHIndex: correctness, determinism, recall floors."""
+
+import numpy as np
+import pytest
+
+from repro.serve.index import ExactIndex, Index, LSHIndex, recall_at_k, top_k_desc
+from repro.serve.store import EmbeddingStore
+from repro.util.rng import default_rng
+
+
+def make_store(V=400, d=24, seed=1):
+    rng = default_rng(seed)
+    matrix = rng.normal(size=(V, d)).astype(np.float32)
+    return EmbeddingStore(matrix, [f"w{i:04d}" for i in range(V)])
+
+
+def reference_topk(store, queries, k):
+    """Brute-force float cosine ranking with (score desc, id asc) ties."""
+    normalized = store.normalized()
+    q = np.atleast_2d(queries).astype(np.float32)
+    norms = np.linalg.norm(q, axis=1, keepdims=True)
+    q = q / np.where(norms > 0, norms, 1.0)
+    scores = q @ normalized.T
+    all_ids = np.broadcast_to(np.arange(scores.shape[1]), scores.shape)
+    return np.lexsort((all_ids, -scores), axis=-1)[:, :k]
+
+
+class TestTopKDesc:
+    def test_orders_and_breaks_ties_by_id(self):
+        scores = np.array([[0.5, 0.9, 0.5, 0.1]], dtype=np.float32)
+        ids = np.array([[7, 3, 2, 9]], dtype=np.int64)
+        out_ids, out_scores = top_k_desc(scores, ids, 3)
+        assert out_ids.tolist() == [[3, 2, 7]]
+        assert out_scores[0, 0] == pytest.approx(0.9)
+
+    def test_k_capped(self):
+        scores = np.array([[0.1, 0.2]], dtype=np.float32)
+        ids = np.array([[0, 1]], dtype=np.int64)
+        out_ids, _ = top_k_desc(scores, ids, 10)
+        assert out_ids.shape == (1, 2)
+
+
+class TestExactIndex:
+    def test_matches_reference(self):
+        store = make_store()
+        index = ExactIndex(store, block_rows=64)
+        queries = store.matrix[default_rng(5).choice(len(store), 20)]
+        ids, scores = index.search(queries, 10)
+        np.testing.assert_array_equal(ids, reference_topk(store, queries, 10))
+        assert np.all(np.diff(scores, axis=1) <= 1e-6)
+
+    def test_self_is_nearest(self):
+        store = make_store()
+        index = ExactIndex(store)
+        ids, scores = index.search(store.matrix[17], 3)
+        assert ids[0, 0] == 17
+        assert scores[0, 0] == pytest.approx(1.0, abs=1e-5)
+
+    def test_block_rows_invariance(self):
+        """Vocab-side tiling may perturb low-order float bits but not ranking."""
+        store = make_store()
+        queries = store.matrix[:33]
+        base_ids, base_scores = ExactIndex(store, block_rows=10**9).search(queries, 7)
+        for block_rows in (16, 50, 399):
+            ids, scores = ExactIndex(store, block_rows=block_rows).search(queries, 7)
+            np.testing.assert_array_equal(ids, base_ids)
+            np.testing.assert_allclose(scores, base_scores, atol=1e-6)
+
+    def test_batched_equals_unbatched_bitwise(self):
+        store = make_store()
+        index = ExactIndex(store, block_rows=128)
+        queries = store.matrix[default_rng(2).choice(len(store), 50)]
+        ids_all, scores_all = index.search(queries, 10)
+        for i in range(0, 50, 11):
+            ids_one, scores_one = index.search(queries[i], 10)
+            np.testing.assert_array_equal(ids_one[0], ids_all[i])
+            np.testing.assert_array_equal(scores_one[0], scores_all[i])
+
+    def test_k_capped_at_vocab(self):
+        store = make_store(V=5)
+        ids, _ = ExactIndex(store).search(store.matrix[0], 50)
+        assert ids.shape == (1, 5)
+        assert sorted(ids[0].tolist()) == [0, 1, 2, 3, 4]
+
+    def test_zero_query_deterministic(self):
+        store = make_store(V=10)
+        ids, scores = ExactIndex(store).search(np.zeros(store.dim), 3)
+        assert ids[0].tolist() == [0, 1, 2]  # all-zero scores tie, id order
+        np.testing.assert_array_equal(scores[0], np.zeros(3, dtype=np.float32))
+
+    def test_invalid_args(self):
+        store = make_store(V=10)
+        with pytest.raises(ValueError, match="k must be positive"):
+            ExactIndex(store).search(store.matrix[0], 0)
+        with pytest.raises(ValueError, match="block_rows"):
+            ExactIndex(store, block_rows=0)
+        with pytest.raises(ValueError, match="queries must be"):
+            ExactIndex(store).search(np.zeros(store.dim + 1), 3)
+
+    def test_satisfies_protocol(self):
+        store = make_store(V=10)
+        assert isinstance(ExactIndex(store), Index)
+        assert isinstance(LSHIndex(store), Index)
+
+
+class TestLSHIndex:
+    def test_recall_floor_random_vectors(self):
+        store = make_store(V=800, d=32)
+        exact = ExactIndex(store)
+        lsh = LSHIndex(store, seed=3)
+        queries = store.matrix[default_rng(9).choice(len(store), 64)]
+        assert recall_at_k(lsh, exact, queries, k=10) >= 0.8
+
+    def test_same_seed_bit_identical(self):
+        store = make_store()
+        queries = store.matrix[:16]
+        a = LSHIndex(store, seed=5).search(queries, 10)
+        b = LSHIndex(store, seed=5).search(queries, 10)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        store = make_store()
+        a = LSHIndex(store, seed=1)
+        b = LSHIndex(store, seed=2)
+        assert any(
+            not np.array_equal(pa, pb) for pa, pb in zip(a._planes, b._planes)
+        )
+
+    def test_scores_are_exact_cosine(self):
+        store = make_store()
+        lsh = LSHIndex(store, seed=3)
+        query = store.matrix[5]
+        ids, scores = lsh.search(query, 5)
+        normalized = store.normalized()
+        qn = query / np.linalg.norm(query)
+        for i, s in zip(ids[0], scores[0]):
+            if i < 0:
+                continue
+            assert s == pytest.approx(float(normalized[i] @ qn), abs=1e-5)
+
+    def test_candidates_sorted_unique(self):
+        store = make_store()
+        lsh = LSHIndex(store, seed=3)
+        cands = lsh.candidates(store.matrix[0])
+        assert cands.size > 0
+        assert np.all(np.diff(cands) > 0)
+
+    def test_more_probes_no_worse_recall(self):
+        store = make_store(V=600, d=24)
+        exact = ExactIndex(store)
+        queries = store.matrix[default_rng(4).choice(len(store), 48)]
+        low = recall_at_k(LSHIndex(store, probes=0, seed=7), exact, queries, k=10)
+        high = recall_at_k(LSHIndex(store, probes=8, seed=7), exact, queries, k=10)
+        assert high >= low
+
+    def test_padding_when_candidates_scarce(self):
+        store = make_store(V=40)
+        lsh = LSHIndex(store, bits=10, tables=1, probes=0, seed=1)
+        ids, scores = lsh.search(store.matrix[:4], 30)
+        assert np.all((ids >= -1) & (ids < 40))
+        assert np.all(np.isneginf(scores[ids == -1]))
+
+    def test_invalid_args(self):
+        store = make_store(V=10)
+        with pytest.raises(ValueError, match="bits"):
+            LSHIndex(store, bits=0)
+        with pytest.raises(ValueError, match="tables"):
+            LSHIndex(store, tables=0)
+        with pytest.raises(ValueError, match="probes"):
+            LSHIndex(store, probes=-1)
+
+
+class TestRecallAtK:
+    def test_exact_vs_itself_is_one(self):
+        store = make_store(V=100)
+        exact = ExactIndex(store)
+        assert recall_at_k(exact, exact, store.matrix[:8], k=5) == 1.0
+
+    def test_k_validation(self):
+        store = make_store(V=10)
+        exact = ExactIndex(store)
+        with pytest.raises(ValueError, match="k must be positive"):
+            recall_at_k(exact, exact, store.matrix[:2], k=0)

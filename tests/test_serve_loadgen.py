@@ -1,0 +1,165 @@
+"""Load generator and ServeReport: determinism, export formats."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import QueryEngine
+from repro.serve.index import ExactIndex, LSHIndex
+from repro.serve.loadgen import LoadConfig, generate_queries, run_load
+from repro.serve.store import EmbeddingStore
+from repro.util.rng import default_rng
+
+
+def make_store(V=300, d=16, seed=1):
+    rng = default_rng(seed)
+    matrix = rng.normal(size=(V, d)).astype(np.float32)
+    return EmbeddingStore(matrix, [f"w{i:03d}" for i in range(V)])
+
+
+class TestGenerateQueries:
+    def test_deterministic(self):
+        config = LoadConfig(num_queries=200, seed=9)
+        np.testing.assert_array_equal(
+            generate_queries(100, config), generate_queries(100, config)
+        )
+
+    def test_seed_changes_stream(self):
+        a = generate_queries(100, LoadConfig(num_queries=200, seed=1))
+        b = generate_queries(100, LoadConfig(num_queries=200, seed=2))
+        assert not np.array_equal(a, b)
+
+    def test_zipf_skew_favors_low_ranks(self):
+        ids = generate_queries(
+            1000, LoadConfig(num_queries=5000, zipf_exponent=1.2, seed=3)
+        )
+        head = np.sum(ids < 10)
+        tail = np.sum(ids >= 990)
+        assert head > 5 * max(tail, 1)
+
+    def test_flat_exponent_is_uniformish(self):
+        ids = generate_queries(
+            50, LoadConfig(num_queries=5000, zipf_exponent=0.0, seed=3)
+        )
+        counts = np.bincount(ids, minlength=50)
+        assert counts.min() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="vocab_size"):
+            generate_queries(0, LoadConfig())
+        with pytest.raises(ValueError, match="num_queries"):
+            LoadConfig(num_queries=0)
+        with pytest.raises(ValueError, match="zipf_exponent"):
+            LoadConfig(zipf_exponent=-1)
+        with pytest.raises(ValueError, match="arrival_qps"):
+            LoadConfig(arrival_qps=0)
+        with pytest.raises(ValueError, match="k must be positive"):
+            LoadConfig(k=0)
+
+
+class TestRunLoad:
+    def test_report_shape(self):
+        store = make_store()
+        engine = QueryEngine(ExactIndex(store), max_batch=16, cache_size=64)
+        config = LoadConfig(num_queries=100, k=5, seed=4)
+        report = run_load(engine, config, index_label="exact")
+        assert report.num_queries == 100
+        assert sum(report.batch_sizes) == 100
+        assert len(report.batch_seconds) == len(report.batch_sizes)
+        assert len(report.batch_arrival_us) == len(report.batch_sizes)
+        assert report.cache_hits + report.cache_misses == 100
+        assert 0.0 <= report.cache_hit_rate <= 1.0
+        assert report.throughput_qps > 0
+        assert len(report.answers_sha256) == 64
+        latency = report.latency_percentiles_ms()
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+
+    def test_modeled_identical_across_runs_and_workers(self):
+        store = make_store()
+        index = ExactIndex(store)
+        config = LoadConfig(num_queries=150, seed=12)
+        reports = [
+            run_load(
+                QueryEngine(index, max_batch=16, cache_size=32, workers=workers),
+                config,
+                index_label="exact",
+            )
+            for workers in (None, 2, 4)
+        ]
+        assert reports[0].modeled() == reports[1].modeled() == reports[2].modeled()
+
+    def test_answers_and_cache_invariant_to_max_batch(self):
+        store = make_store()
+        index = LSHIndex(store, seed=5)
+        config = LoadConfig(num_queries=150, seed=12)
+        signatures = set()
+        for max_batch in (1, 13, 150):
+            report = run_load(
+                QueryEngine(index, max_batch=max_batch, cache_size=32),
+                config,
+                index_label="lsh",
+            )
+            signatures.add(
+                (
+                    report.answers_sha256,
+                    report.cache_hits,
+                    report.cache_misses,
+                    report.cache_evictions,
+                )
+            )
+        assert len(signatures) == 1
+
+    def test_different_seeds_different_answers(self):
+        store = make_store()
+        index = ExactIndex(store)
+        a = run_load(QueryEngine(index), LoadConfig(num_queries=50, seed=1))
+        b = run_load(QueryEngine(index), LoadConfig(num_queries=50, seed=2))
+        assert a.answers_sha256 != b.answers_sha256
+
+    def test_resets_engine_stats_first(self):
+        store = make_store()
+        engine = QueryEngine(ExactIndex(store), max_batch=8)
+        engine.query(["w001"] * 20)
+        report = run_load(engine, LoadConfig(num_queries=40, seed=3))
+        assert report.num_queries == 40
+        assert sum(report.batch_sizes) == 40
+
+
+class TestExport:
+    @pytest.fixture
+    def report(self):
+        store = make_store()
+        engine = QueryEngine(ExactIndex(store), max_batch=16, cache_size=64)
+        return run_load(engine, LoadConfig(num_queries=64, seed=6), index_label="exact")
+
+    def test_json_round_trip(self, report):
+        payload = json.loads(report.to_json())
+        assert payload["modeled"]["answers_sha256"] == report.answers_sha256
+        assert payload["measured"]["throughput_qps"] == pytest.approx(
+            report.throughput_qps
+        )
+        assert set(payload["measured"]["latency_ms"]) == {"p50", "p95", "p99"}
+        assert payload["cache_hit_rate"] == pytest.approx(report.cache_hit_rate)
+        sizes = {int(k): v for k, v in payload["batch_size_histogram"].items()}
+        assert sum(size * count for size, count in sizes.items()) == 64
+
+    def test_chrome_trace_events(self, report):
+        events = report.chrome_trace_events(tid=3)
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == len(report.batch_sizes)
+        assert all(e["tid"] == 3 and e["cat"] == "serve" for e in complete)
+        assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in complete)
+        arrivals = [e["ts"] for e in complete]
+        assert arrivals == sorted(arrivals)
+        assert meta[0]["args"]["name"].startswith("serve engine")
+        json.dumps({"traceEvents": events})  # serializable as-is
+
+    def test_trace_json(self, report):
+        parsed = json.loads(report.trace_json())
+        assert "traceEvents" in parsed
+
+    def test_summary_mentions_key_numbers(self, report):
+        text = report.summary()
+        assert "exact" in text and "p99" in text and "cache hit rate" in text

@@ -69,6 +69,16 @@ class TestRoundTrip:
         assert len(words) == 3
         np.testing.assert_allclose(vectors, model.embedding, rtol=1e-6)
 
+    def test_unicode_words_roundtrip(self, tmp_path):
+        vocab = Vocabulary({"naïve": 3, "東京": 2, "Zürich": 1})
+        rng = np.random.default_rng(1)
+        embedding = rng.normal(size=(3, 4)).astype(np.float32)
+        path = tmp_path / "unicode.txt"
+        save_word2vec_text(embedding, vocab, str(path), precision=9)
+        words, vectors = load_word2vec_text(str(path))
+        assert words == [vocab.word_of(i) for i in range(3)]
+        np.testing.assert_allclose(vectors, embedding, rtol=1e-6)
+
 
 class TestLoadValidation:
     def test_malformed_header(self):
@@ -86,3 +96,21 @@ class TestLoadValidation:
     def test_wrong_column_count(self):
         with pytest.raises(ValueError, match="line 2"):
             load_word2vec_text(io.StringIO("1 3\nw 1 2\n"))
+
+    def test_non_integer_header(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            load_word2vec_text(io.StringIO("two 4\nw 1 2 3 4\n"))
+
+    def test_duplicate_word_names_both_lines(self):
+        text = "3 2\na 1 2\nb 3 4\na 5 6\n"
+        with pytest.raises(ValueError, match=r"line 4: duplicate word 'a'.*line 2"):
+            load_word2vec_text(io.StringIO(text))
+
+    def test_non_numeric_component(self):
+        with pytest.raises(ValueError, match="line 2: non-numeric.*'w'"):
+            load_word2vec_text(io.StringIO("1 2\nw 1 oops\n"))
+
+    def test_extra_rows_beyond_header(self):
+        text = "1 2\na 1 2\nb 3 4\n"
+        with pytest.raises(ValueError, match="declares 1 rows but the file has more"):
+            load_word2vec_text(io.StringIO(text))
