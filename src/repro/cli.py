@@ -118,7 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--model", type=Path, help="saved model (.npz); trains fresh if omitted")
     serve.add_argument("--dataset", default="tiny-sim", help="synthetic preset name")
-    serve.add_argument("--dim", type=int, default=48, help="dim when training fresh")
+    serve.add_argument("--dim", type=int, default=None,
+                       help="embedding dim (default: 48 when training fresh, "
+                            "32 for --frontier)")
     serve.add_argument("--epochs", type=int, default=2, help="epochs when training fresh")
     serve.add_argument("--queries", type=int, default=512, help="load-run query count")
     serve.add_argument("--k", type=int, default=10, help="neighbors per query")
@@ -128,13 +130,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=None, metavar="N",
                        help="thread-pool width for batch search (default: serial "
                             "or the REPRO_WORKERS environment variable)")
-    serve.add_argument("--seed", type=int, default=7, help="workload + LSH seed")
-    serve.add_argument("--lsh-tables", type=int, default=8)
-    serve.add_argument("--lsh-probes", type=int, default=8)
+    serve.add_argument("--seed", type=int, default=None,
+                       help="workload + index seed (default: 7, or the library "
+                            "default seed for --frontier)")
+    serve.add_argument("--lsh-tables", type=int, default=6)
+    serve.add_argument("--lsh-probes", type=int, default=24)
     serve.add_argument("--json", type=Path, metavar="FILE",
-                       help="write the ServeReports as JSON")
+                       help="write the ServeReports (or frontier payload) as JSON")
     serve.add_argument("--trace", type=Path, metavar="FILE",
                        help="write Chrome-trace events (chrome://tracing)")
+    frontier = serve.add_argument_group(
+        "frontier", "recall-vs-QPS frontier sweep over a synthetic clustered store"
+    )
+    frontier.add_argument("--frontier", action="store_true",
+                          help="sweep exact/LSH/IVF/int8/PQ points instead of "
+                               "benchmarking a trained model")
+    frontier.add_argument("--vocab", type=int, default=None, metavar="V",
+                          help="frontier store rows (default: 8000)")
+    frontier.add_argument("--clusters", type=int, default=None,
+                          help="planted family count in the frontier store "
+                               "(default: 160)")
+    frontier.add_argument("--nlist", type=int, default=None,
+                          help="IVF cell count (default: ~sqrt of vocab)")
+    frontier.add_argument("--nprobes", type=str, default=None, metavar="P1,P2,..",
+                          help="comma-separated IVF probe widths "
+                               "(default: 1,2,4,8,16)")
+    frontier.add_argument("--check-floors", type=Path, metavar="FILE",
+                          help="re-verify the sweep against the recall floors "
+                               "recorded under 'frontier_smoke' in FILE; exits "
+                               "1 if any point regressed")
     return parser
 
 
@@ -298,8 +322,82 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve_frontier(args) -> int:
+    import json
+
+    from repro.serve import FrontierConfig, check_frontier_floors, sweep_frontier
+    from repro.util.tables import format_table
+
+    overrides = {}
+    for flag, field in (
+        ("vocab", "vocab_size"),
+        ("dim", "dim"),
+        ("clusters", "clusters"),
+        ("seed", "seed"),
+        ("nlist", "nlist"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[field] = value
+    if args.nprobes is not None:
+        overrides["nprobes"] = tuple(int(p) for p in args.nprobes.split(","))
+    config = FrontierConfig(num_queries=args.queries, k=args.k, **overrides)
+    payload = sweep_frontier(config)
+    rows = [
+        [
+            point["label"],
+            f"{point['recall_at_k']:.3f}",
+            f"{point['recall_floor']:.3f}",
+            float(point["qps"]),
+            point["p50_query_ms"],
+            point["build_seconds"],
+            point["memory_bytes"] // 1024,
+        ]
+        for point in payload["points"]
+    ]
+    print(
+        format_table(
+            ["index", f"recall@{config.k}", "floor", "qps", "p50 ms/q",
+             "build s", "KiB"],
+            rows,
+            title=(
+                f"serve-bench frontier · vocab {config.vocab_size} · "
+                f"dim {config.dim} · seed {config.seed}"
+            ),
+        )
+    )
+    if args.json is not None:
+        args.json.write_text(json.dumps(payload, indent=2))
+        print(f"frontier written to {args.json}")
+    if args.check_floors is not None:
+        recorded = json.loads(args.check_floors.read_text())
+        section = recorded.get("frontier_smoke")
+        if section is None:
+            print(
+                f"error: {args.check_floors} has no 'frontier_smoke' section",
+                file=sys.stderr,
+            )
+            return 2
+        violations = check_frontier_floors(payload, section)
+        if violations:
+            for violation in violations:
+                print(f"floor regression: {violation}", file=sys.stderr)
+            return 1
+        print(
+            f"all {len(section.get('points', []))} recorded recall floors hold"
+        )
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     import json
+
+    if args.frontier:
+        return _cmd_serve_frontier(args)
+    if args.dim is None:
+        args.dim = 48
+    if args.seed is None:
+        args.seed = 7
 
     from repro.experiments import datasets
     from repro.serve import (

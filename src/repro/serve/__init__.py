@@ -11,13 +11,21 @@ serves nearest-neighbor queries over it at scale:
   exact blocked-matmul top-k (:class:`ExactIndex`) and a seeded
   random-hyperplane LSH approximation (:class:`LSHIndex`), plus
   :func:`recall_at_k` to measure the accuracy/speed tradeoff,
+- :mod:`repro.serve.ivf` — :class:`IVFIndex`, an inverted-file index
+  over seed-deterministic k-means cells (``nlist``/``nprobe`` knobs)
+  with exact float32 rescoring or quantized-code scoring,
+- :mod:`repro.serve.quant` — :class:`Int8Store` (per-dimension scalar
+  quantization) and :class:`PQStore` (product quantization), saved next
+  to the float32 snapshot with documented reconstruction-error bounds,
 - :mod:`repro.serve.engine` — :class:`QueryEngine`, micro-batching with a
   bounded LRU result cache, executing batches on a
   :class:`~repro.galois.do_all.DoAllExecutor`,
 - :mod:`repro.serve.loadgen` — a seed-deterministic load generator
   (Zipf query mix, fixed arrival schedule) emitting a
   :class:`ServeReport` (throughput, latency percentiles, cache hit rate)
-  as JSON and Chrome-trace events.
+  as JSON and Chrome-trace events, plus the recall-vs-QPS frontier sweep
+  (:class:`FrontierConfig`, :func:`sweep_frontier`) CI uses to hold the
+  ANN indexes to recorded recall floors.
 
 Everything modeled (query answers, batch composition, cache accounting)
 is a pure function of the seed; only measured wall-clock fields
@@ -26,7 +34,18 @@ is a pure function of the seed; only measured wall-clock fields
 
 from repro.serve.engine import CacheStats, EngineStats, LRUCache, QueryEngine
 from repro.serve.index import ExactIndex, Index, LSHIndex, recall_at_k
-from repro.serve.loadgen import LoadConfig, ServeReport, run_load
+from repro.serve.ivf import IVFIndex, default_nlist, kmeans
+from repro.serve.loadgen import (
+    FrontierConfig,
+    LoadConfig,
+    ServeReport,
+    check_frontier_floors,
+    clustered_matrix,
+    frontier_store,
+    run_load,
+    sweep_frontier,
+)
+from repro.serve.quant import Int8Store, PQStore, open_codes
 from repro.serve.store import EmbeddingStore
 
 __all__ = [
@@ -34,6 +53,12 @@ __all__ = [
     "Index",
     "ExactIndex",
     "LSHIndex",
+    "IVFIndex",
+    "default_nlist",
+    "kmeans",
+    "Int8Store",
+    "PQStore",
+    "open_codes",
     "recall_at_k",
     "QueryEngine",
     "LRUCache",
@@ -42,4 +67,9 @@ __all__ = [
     "LoadConfig",
     "ServeReport",
     "run_load",
+    "FrontierConfig",
+    "clustered_matrix",
+    "frontier_store",
+    "sweep_frontier",
+    "check_frontier_floors",
 ]

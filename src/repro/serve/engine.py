@@ -19,7 +19,17 @@ The :class:`QueryEngine` sits between callers and an
   / ``executor=`` knobs and the ``REPRO_WORKERS`` env default follow the
   trainer's conventions).  Blocks write disjoint slices of pre-allocated
   output arrays and the block size never depends on the executor, so
-  results are bit-identical for every ``workers`` setting.
+  results are bit-identical for every ``workers`` setting.  The engine
+  serves *any* :class:`~repro.serve.index.Index` — exact, LSH, or IVF —
+  through the same machinery; an index only has to honor the batched
+  ``search`` contract.
+- **Sanitized execution** — ``sanitize=`` (default: the ``REPRO_SANITIZE``
+  environment variable, the trainer's convention) wraps the executor in
+  the :mod:`repro.analysis` do_all race detector: every search block's
+  read/write row sets are shadow-recorded and cross-checked at the flush
+  barrier, and any overlap raises
+  :class:`~repro.analysis.runtime.SanitizeError`.  Observation never
+  perturbs results.
 
 Batch latency is measured with a :class:`~repro.galois.timers.StatTimer`
 whose clock is injectable; everything else the engine reports (answers,
@@ -34,7 +44,20 @@ from typing import Callable, Hashable
 
 import numpy as np
 
-from repro.galois.do_all import do_all, executor_from_env, resolve_executor
+from repro.analysis.runtime import (
+    DoAllRaceSanitizer,
+    SanitizedExecutor,
+    SanitizeError,
+    note_read,
+    note_write,
+    sanitize_from_env,
+)
+from repro.galois.do_all import (
+    SerialExecutor,
+    do_all,
+    executor_from_env,
+    resolve_executor,
+)
 from repro.galois.timers import StatTimer
 from repro.serve.index import Index
 
@@ -172,8 +195,12 @@ class QueryEngine:
     answers cannot depend on executor width).  ``executor``/``workers``
     follow :func:`repro.galois.do_all.resolve_executor`, defaulting to
     the process-shared ``REPRO_WORKERS`` pool and serial execution last.
-    ``clock`` is handed to the internal :class:`StatTimer` measuring
-    per-flush latency.
+    ``sanitize`` (default: the ``REPRO_SANITIZE`` environment variable,
+    the trainer's convention) runs every flush under the
+    :mod:`repro.analysis` do_all race detector; findings raise
+    :class:`~repro.analysis.runtime.SanitizeError` at the flush barrier,
+    and observation never changes answers.  ``clock`` is handed to the
+    internal :class:`StatTimer` measuring per-flush latency.
     """
 
     def __init__(
@@ -185,6 +212,7 @@ class QueryEngine:
         workers: int | None = None,
         search_block: int = 32,
         clock: Callable[[], float] | None = None,
+        sanitize: bool | None = None,
     ):
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -194,6 +222,15 @@ class QueryEngine:
         self.max_batch = int(max_batch)
         self.search_block = int(search_block)
         self._executor = resolve_executor(executor, workers) or executor_from_env()
+        self.sanitize = sanitize_from_env() if sanitize is None else bool(sanitize)
+        self._race_sanitizer: DoAllRaceSanitizer | None = None
+        if self.sanitize:
+            self._race_sanitizer = DoAllRaceSanitizer()
+            self._executor = SanitizedExecutor(
+                self._executor or SerialExecutor(),
+                self._race_sanitizer,
+                name="serve.flush",
+            )
         self._clock = clock
         self.cache = LRUCache(cache_size)
         self.stats = EngineStats(cache=self.cache.stats)
@@ -286,11 +323,17 @@ class QueryEngine:
 
         def operator(start: int) -> None:
             sl = slice(start, min(start + self.search_block, m))
+            rows = np.arange(sl.start, sl.stop)
+            note_read(vectors, rows, "serve.queries")
             ids, scores = self.index.search(vectors[sl], k_max)
+            note_write(out_ids, rows, "serve.out_ids")
+            note_write(out_scores, rows, "serve.out_scores")
             out_ids[sl] = ids
             out_scores[sl] = scores
 
         do_all(range(0, m, self.search_block), operator, executor=self._executor)
+        if self._race_sanitizer is not None and self._race_sanitizer.findings:
+            raise SanitizeError(self._race_sanitizer.findings, context="serve.flush")
         fresh: dict[tuple[str, int], tuple[np.ndarray, np.ndarray]] = {}
         for row, (key, want) in enumerate(zip(missing, ks)):
             width = min(want, width_cap)
@@ -305,6 +348,13 @@ class QueryEngine:
     @property
     def latency_timer(self) -> StatTimer:
         return self._timer
+
+    @property
+    def sanitize_findings(self) -> list:
+        """Race findings collected so far (empty when sanitizers are off)."""
+        if self._race_sanitizer is None:
+            return []
+        return list(self._race_sanitizer.findings)
 
     def reset_stats(self) -> None:
         """Zero counters and measurements (cache contents survive)."""

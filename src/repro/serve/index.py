@@ -10,8 +10,10 @@ Two implementations behind one :class:`Index` contract:
 - :class:`LSHIndex` — random-hyperplane locality-sensitive hashing:
   every table hashes each row to a ``bits``-wide sign signature of
   projections onto seeded hyperplanes; queries probe their own bucket
-  plus the ``probes`` single-bit flips with the smallest projection
-  margin (multi-probe), then the candidate union is *exactly* rescored.
+  plus the ``probes`` flip sets (single bits *and* bit pairs, ranked by
+  summed projection margin — the perturbation sets most likely to hold
+  near neighbors) with the smallest total margin (multi-probe), then the
+  candidate union is *exactly* rescored.
   Hyperplanes derive from the seed tree (:func:`repro.util.rng.keyed_rng`),
   so an index is a pure function of ``(store, seed, shape knobs)``.
 
@@ -35,6 +37,10 @@ __all__ = ["Index", "ExactIndex", "LSHIndex", "recall_at_k", "top_k_desc"]
 #: Domain tag mixed into LSH seed derivation so the hyperplane streams never
 #: collide with other consumers of the same root seed.
 _LSH_DOMAIN = 0x4C5348  # "LSH"
+
+#: Multi-probe pair flips are drawn from this many lowest-margin bits;
+#: bounds the probe-sequence enumeration at pool + C(pool, 2) flip sets.
+_PROBE_PAIR_POOL = 12
 
 
 def top_k_desc(scores: np.ndarray, ids: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -162,17 +168,24 @@ class LSHIndex:
     ``bits`` defaults to a store-sized choice (aiming at ~16 rows per
     bucket, capped to 24) so small vocabularies do not shatter into empty
     buckets; ``tables`` independent hash tables and ``probes`` extra
-    single-bit-flip probes per table trade recall for candidate volume.
+    probes per table trade recall for candidate volume.  The probe
+    sequence follows the multi-probe construction: flip sets of one or
+    two signature bits, ranked by the summed projection margin of the
+    flipped bits (the cheapest sign flips are the likeliest to separate a
+    near neighbor from the query), ties broken by ascending bit mask.
     Candidates from all tables are unioned and rescored with true cosine,
     so returned scores are exact — only the candidate set is approximate.
+    ``k >= len(store)`` bypasses the tables entirely and rescores every
+    row, so an over-wide query degrades to exact search instead of
+    padding with misses.
     """
 
     def __init__(
         self,
         store: EmbeddingStore,
         bits: int | None = None,
-        tables: int = 8,
-        probes: int = 8,
+        tables: int = 6,
+        probes: int = 24,
         seed: int = DEFAULT_SEED,
     ):
         if bits is None:
@@ -186,7 +199,8 @@ class LSHIndex:
         self._store = store
         self.bits = int(bits)
         self.tables = int(tables)
-        self.probes = min(int(probes), self.bits)
+        pool = min(self.bits, _PROBE_PAIR_POOL)
+        self.probes = min(int(probes), self.bits + pool * (pool - 1) // 2)
         self.seed = int(seed)
         normalized = store.normalized()
         self._planes: list[np.ndarray] = []
@@ -209,6 +223,29 @@ class LSHIndex:
     def store(self) -> EmbeddingStore:
         return self._store
 
+    def _flip_masks(self, proj: np.ndarray) -> np.ndarray:
+        """The ``probes`` perturbation masks for one query's projections.
+
+        Flip sets of size one (every bit) and size two (pairs among the
+        ``_PROBE_PAIR_POOL`` lowest-margin bits), ranked by the summed
+        projection margin of the flipped bits; ties break on the ascending
+        mask value so the sequence is deterministic.
+        """
+        margins = np.abs(proj)
+        order = np.argsort(margins, kind="stable")
+        costs = [margins[b] for b in order]
+        masks = [1 << int(b) for b in order]
+        pool = order[: min(self.bits, _PROBE_PAIR_POOL)]
+        for i in range(len(pool)):
+            for j in range(i + 1, len(pool)):
+                bi, bj = int(pool[i]), int(pool[j])
+                costs.append(margins[bi] + margins[bj])
+                masks.append((1 << bi) | (1 << bj))
+        costs = np.asarray(costs, dtype=np.float64)
+        masks = np.asarray(masks, dtype=np.int64)
+        pick = np.lexsort((masks, costs))[: self.probes]
+        return masks[pick]
+
     def candidates(self, query: np.ndarray) -> np.ndarray:
         """Sorted unique candidate row ids for one (raw) query vector."""
         q = _normalize_queries(query, self._store.dim)[0]
@@ -216,13 +253,10 @@ class LSHIndex:
         for planes, buckets in zip(self._planes, self._buckets):
             proj = planes @ q
             sig = int(((proj >= 0) @ (1 << np.arange(self.bits, dtype=np.int64))))
+            # Multi-probe: the base bucket plus the flip sets whose signs
+            # are likeliest to differ for near neighbors.
             probe_sigs = [sig]
-            # Multi-probe: flip the bits whose projection margin is
-            # smallest — the most likely signs to differ for near
-            # neighbors.
-            flip_order = np.argsort(np.abs(proj), kind="stable")
-            for bit in flip_order[: self.probes]:
-                probe_sigs.append(sig ^ (1 << int(bit)))
+            probe_sigs.extend(sig ^ int(mask) for mask in self._flip_masks(proj))
             for probe in probe_sigs:
                 hit = buckets.get(probe)
                 if hit is not None:
@@ -240,8 +274,11 @@ class LSHIndex:
         n = q.shape[0]
         out_ids = np.full((n, k), -1, dtype=np.int64)
         out_scores = np.full((n, k), -np.inf, dtype=np.float32)
+        all_rows = np.arange(len(self._store), dtype=np.int64)
         for i in range(n):
-            cands = self.candidates(q[i])
+            # k covering the whole store degrades to an exact scan — an
+            # over-wide query must not pad with misses.
+            cands = all_rows if k >= len(self._store) else self.candidates(q[i])
             if cands.size == 0:
                 continue
             scores = (normalized[cands] @ q[i]).astype(np.float32)

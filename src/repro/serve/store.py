@@ -11,7 +11,13 @@ serving never re-parses text formats:
   :meth:`EmbeddingStore.open` can memory-map, for stores larger than RAM.
 
 Both layouts live in a directory next to a ``meta.json`` sidecar carrying
-the word table and shape, which is validated against the arrays on open.
+the word table and shape, which is validated against the arrays on open —
+validation errors always name the offending ``meta.json`` field.  The
+sidecar may additionally carry a ``codes`` section describing quantized
+code layouts (:mod:`repro.serve.quant`) stored alongside the float32
+snapshot; :func:`read_meta` / :func:`write_meta` / :func:`meta_field` are
+the shared helpers those variants use to extend the sidecar without
+re-implementing its validation.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import numpy as np
 from repro.text.vocab import Vocabulary
 from repro.w2v.model import Word2VecModel
 
-__all__ = ["EmbeddingStore"]
+__all__ = ["EmbeddingStore", "meta_field", "read_meta", "write_meta"]
 
 _FORMAT_VERSION = 1
 _META_NAME = "meta.json"
@@ -38,6 +44,39 @@ def _frozen(array: np.ndarray) -> np.ndarray:
     view = array.view()
     view.flags.writeable = False
     return view
+
+
+def read_meta(directory: str | Path) -> dict:
+    """Parse ``meta.json`` under ``directory`` (raises when absent)."""
+    meta_path = Path(directory) / _META_NAME
+    if not meta_path.is_file():
+        raise FileNotFoundError(f"no {_META_NAME} under {directory}")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    if not isinstance(meta, dict):
+        raise ValueError(f"{meta_path}: meta.json must be a JSON object")
+    return meta
+
+
+def write_meta(directory: str | Path, meta: dict) -> Path:
+    """Rewrite ``meta.json`` under ``directory`` atomically-enough."""
+    meta_path = Path(directory) / _META_NAME
+    meta_path.write_text(json.dumps(meta, ensure_ascii=False), encoding="utf-8")
+    return meta_path
+
+
+def meta_field(meta: dict, name: str, kind: type, where: str = "meta.json"):
+    """Fetch a required typed field; errors name the missing/bad field."""
+    if name not in meta:
+        raise ValueError(f"{where}: meta.json missing field {name!r}")
+    value = meta[name]
+    if kind is float and isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)
+    if not isinstance(value, kind) or isinstance(value, bool):
+        raise ValueError(
+            f"{where}: meta.json field {name!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
 
 
 class EmbeddingStore:
@@ -207,20 +246,21 @@ class EmbeddingStore:
         garbage.
         """
         directory = Path(directory)
-        meta_path = directory / _META_NAME
-        if not meta_path.is_file():
-            raise FileNotFoundError(f"no {_META_NAME} under {directory}")
-        meta = json.loads(meta_path.read_text(encoding="utf-8"))
-        if meta.get("format_version") != _FORMAT_VERSION:
+        meta = read_meta(directory)
+        where = str(directory)
+        if meta_field(meta, "format_version", int, where) != _FORMAT_VERSION:
             raise ValueError(
-                f"unsupported store format_version {meta.get('format_version')!r}"
+                f"{where}: unsupported meta.json field 'format_version' "
+                f"{meta['format_version']!r} (expected {_FORMAT_VERSION})"
             )
-        fmt = meta.get("format")
-        V, dim = int(meta["vocab_size"]), int(meta["dim"])
-        words = meta["words"]
+        fmt = meta_field(meta, "format", str, where)
+        V = meta_field(meta, "vocab_size", int, where)
+        dim = meta_field(meta, "dim", int, where)
+        words = meta_field(meta, "words", list, where)
         if len(words) != V:
             raise ValueError(
-                f"meta.json lists {len(words)} words but vocab_size is {V}"
+                f"{where}: meta.json field 'words' lists {len(words)} entries "
+                f"but field 'vocab_size' is {V}"
             )
         if fmt == "npz":
             if mmap:
@@ -241,7 +281,10 @@ class EmbeddingStore:
                 matrix = np.fromfile(matrix_path, dtype="<f4").reshape(V, dim)
             norms = np.fromfile(directory / _RAW_NORMS_NAME, dtype="<f4")
         else:
-            raise ValueError(f"unknown store format {fmt!r} in meta.json")
+            raise ValueError(
+                f"{where}: unknown meta.json field 'format' value {fmt!r} "
+                "(use 'npz' or 'raw')"
+            )
         if matrix.shape != (V, dim):
             raise ValueError(
                 f"stored matrix shape {matrix.shape} does not match meta ({V}, {dim})"

@@ -31,7 +31,8 @@ class TestParser:
         assert args.k == 10
         assert args.max_batch == 64
         assert args.cache_size == 256
-        assert args.lsh_tables == 8 and args.lsh_probes == 8
+        assert args.lsh_tables == 6 and args.lsh_probes == 24
+        assert not args.frontier and args.check_floors is None
 
 
 class TestCommands:

@@ -204,8 +204,9 @@ class TestExecutorInvariance:
 
     def test_workers_knob(self):
         engine = QueryEngine(make_index(), workers=2)
-        assert isinstance(engine._executor, ThreadPoolDoAll)
-        engine._executor.close()
+        executor = engine._executor.inner if engine.sanitize else engine._executor
+        assert isinstance(executor, ThreadPoolDoAll)
+        executor.close()
 
     def test_executor_and_workers_mutually_exclusive(self):
         with pytest.raises(ValueError, match="not both"):

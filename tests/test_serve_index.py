@@ -5,7 +5,7 @@ import pytest
 
 from repro.serve.index import ExactIndex, Index, LSHIndex, recall_at_k, top_k_desc
 from repro.serve.store import EmbeddingStore
-from repro.util.rng import default_rng
+from repro.util.rng import default_rng, keyed_rng
 
 
 def make_store(V=400, d=24, seed=1):
@@ -169,6 +169,28 @@ class TestLSHIndex:
             LSHIndex(store, tables=0)
         with pytest.raises(ValueError, match="probes"):
             LSHIndex(store, probes=-1)
+
+    def test_k_covering_vocab_is_exhaustive(self):
+        store = make_store(V=30)
+        exact = ExactIndex(store)
+        lsh = LSHIndex(store, bits=10, tables=1, probes=0, seed=1)
+        queries = store.matrix[:6]
+        assert recall_at_k(lsh, exact, queries, k=len(store)) == 1.0
+
+
+class TestLSHBenchRegression:
+    def test_defaults_clear_bench_recall_floor(self):
+        """The serve benchmark's exact configuration (V=4000, d=64,
+        Gaussian store, seed 11): the multi-probe defaults must reach
+        recall@10 >= 0.85 — the regression that motivated widening them
+        to tables=6 / probes=24."""
+        rng = keyed_rng(3, 0x42454E43)  # the benchmark's store stream
+        matrix = rng.normal(size=(4000, 64)).astype(np.float32)
+        store = EmbeddingStore(matrix, [f"w{i:04d}" for i in range(4000)])
+        lsh = LSHIndex(store, seed=11)
+        assert (lsh.tables, lsh.probes) == (6, 24)
+        sample = store.matrix[keyed_rng(11, 0x524340).choice(len(store), 128)]
+        assert recall_at_k(lsh, ExactIndex(store), sample, k=10) >= 0.85
 
 
 class TestRecallAtK:

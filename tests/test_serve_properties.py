@@ -1,0 +1,116 @@
+"""Hypothesis battery over the serving indexes (Exact / LSH / IVF).
+
+Four contracts every index must hold, hunted over random stores/seeds:
+batched search is *bitwise* identical to one-query-at-a-time search,
+IVF recall@k is monotone non-decreasing in ``nprobe``, ``k`` covering the
+vocab degrades every index to the exact ranking, and exactly-tied scores
+(duplicate rows) always break toward the lowest id.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.index import ExactIndex, LSHIndex, recall_at_k
+from repro.serve.ivf import IVFIndex
+from repro.serve.store import EmbeddingStore
+from repro.util.rng import keyed_rng
+
+_MATRIX_DOMAIN = 0x50525250  # "PRP" — property-test stores
+_QUERY_DOMAIN = 0x505251  # "PQR" — property-test queries
+
+INDEX_KINDS = ("exact", "lsh", "ivf")
+
+
+def make_store(V, d, seed, duplicates=0):
+    rng = keyed_rng(seed, _MATRIX_DOMAIN, V, d)
+    matrix = rng.normal(size=(V, d)).astype(np.float32)
+    for row in range(1, duplicates + 1):
+        matrix[row] = matrix[0]
+    return EmbeddingStore(matrix, [f"w{i:04d}" for i in range(V)])
+
+
+def make_queries(store, n, seed):
+    rng = keyed_rng(seed, _QUERY_DOMAIN, n)
+    return store.matrix[rng.choice(len(store), n)]
+
+
+def build_index(kind, store, seed):
+    if kind == "exact":
+        return ExactIndex(store, block_rows=32)
+    if kind == "lsh":
+        return LSHIndex(store, seed=seed)
+    return IVFIndex(store, nlist=max(2, len(store) // 10), nprobe=2, seed=seed)
+
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestBatchedUnbatchedParity:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, kind=st.sampled_from(INDEX_KINDS), k=st.integers(1, 12))
+    def test_bitwise_parity(self, seed, kind, k):
+        store = make_store(V=80, d=16, seed=seed)
+        index = build_index(kind, store, seed)
+        queries = make_queries(store, 10, seed)
+        ids_all, scores_all = index.search(queries, k)
+        for i in range(queries.shape[0]):
+            ids_one, scores_one = index.search(queries[i], k)
+            np.testing.assert_array_equal(ids_one[0], ids_all[i])
+            np.testing.assert_array_equal(scores_one[0], scores_all[i])
+
+
+class TestNprobeMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, k=st.integers(1, 10))
+    def test_recall_non_decreasing_in_nprobe(self, seed, k):
+        store = make_store(V=120, d=12, seed=seed)
+        exact = ExactIndex(store)
+        queries = make_queries(store, 16, seed)
+        ivf = IVFIndex(store, nlist=12, nprobe=1, seed=seed)
+        recalls = []
+        for nprobe in (1, 2, 4, 8, 12):
+            ivf.nprobe = nprobe
+            recalls.append(recall_at_k(ivf, exact, queries, k=k))
+        assert all(a <= b for a, b in zip(recalls, recalls[1:])), recalls
+        assert recalls[-1] == 1.0  # nprobe == nlist is an exhaustive scan
+
+
+class TestKCoversVocab:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, kind=st.sampled_from(INDEX_KINDS), extra=st.integers(0, 7))
+    def test_degrades_to_exact(self, seed, kind, extra):
+        """k >= vocab must return *every* row with the exact scores.
+
+        Ids are compared as the full row set and scores per-id (exact and
+        approximate paths may sum in different float orders, so the rank
+        of two near-tied rows is not pinned — their scores are).
+        """
+        store = make_store(V=40, d=12, seed=seed)
+        index = build_index(kind, store, seed)
+        exact = ExactIndex(store)
+        queries = make_queries(store, 6, seed)
+        k = len(store) + extra
+        ids, scores = index.search(queries, k)
+        exact_ids, exact_scores = exact.search(queries, k)
+        assert ids.shape == exact_ids.shape == (6, len(store))
+        for row in range(queries.shape[0]):
+            assert sorted(ids[row].tolist()) == list(range(len(store)))
+            assert np.all(np.diff(scores[row]) <= 1e-6)  # descending
+            by_id = scores[row][np.argsort(ids[row])]
+            exact_by_id = exact_scores[row][np.argsort(exact_ids[row])]
+            np.testing.assert_allclose(by_id, exact_by_id, atol=1e-5)
+
+
+class TestTieBreaking:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, kind=st.sampled_from(INDEX_KINDS), dupes=st.integers(1, 6))
+    def test_equal_scores_break_toward_lowest_id(self, seed, kind, dupes):
+        """Bitwise-identical rows score identically; ids must come out
+        ascending — the shared tie-break contract of every index."""
+        store = make_store(V=60, d=10, seed=seed, duplicates=dupes)
+        index = build_index(kind, store, seed)
+        ids, scores = index.search(store.matrix[0], dupes + 1)
+        group = ids[0, : dupes + 1]
+        assert group.tolist() == list(range(dupes + 1))
+        assert np.all(scores[0, : dupes + 1] == scores[0, 0])
