@@ -130,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=None, metavar="N",
                        help="thread-pool width for batch search (default: serial "
                             "or the REPRO_WORKERS environment variable)")
+    serve.add_argument("--shards", type=int, default=1, metavar="S",
+                       help="also benchmark a scatter-gather tier over S shards "
+                            "and verify its answers bit-match the single-host "
+                            "reference (1 = skip)")
+    serve.add_argument("--replicas", type=int, default=1, metavar="R",
+                       help="replicas per shard for load-aware routing "
+                            "(with --shards)")
     serve.add_argument("--seed", type=int, default=None,
                        help="workload + index seed (default: 7, or the library "
                             "default seed for --frontier)")
@@ -457,6 +464,47 @@ def _cmd_serve_bench(args) -> int:
         )
         reports.append(run_load(engine, config, index_label=label))
 
+    if args.shards > 1:
+        from repro.serve import ShardedEngine, ShardedIndex
+
+        sharded_index = ShardedIndex(
+            store, num_shards=args.shards, replicas=args.replicas
+        )
+        sharded_engine = ShardedEngine(
+            sharded_index,
+            max_batch=args.max_batch,
+            cache_size=args.cache_size,
+            workers=args.workers,
+        )
+        sharded_report = run_load(
+            sharded_engine,
+            config,
+            index_label=f"sharded(s={args.shards},r={args.replicas})",
+        )
+        # Within-run parity gate: the scatter-gather answers must be
+        # bit-identical to a single-host exact pass on the same block grid.
+        reference_engine = QueryEngine(
+            sharded_index.plan.reference_index(store),
+            max_batch=args.max_batch,
+            cache_size=args.cache_size,
+            workers=args.workers,
+        )
+        reference_report = run_load(reference_engine, config, index_label="exact-grid")
+        if sharded_report.answers_sha256 != reference_report.answers_sha256:
+            print(
+                "error: sharded answers diverge from the single-host reference "
+                f"({sharded_report.answers_sha256[:16]} != "
+                f"{reference_report.answers_sha256[:16]})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"sharded parity holds: {args.shards} shards x {args.replicas} "
+            f"replicas bit-match the single-host reference "
+            f"(sha256 {sharded_report.answers_sha256[:16]}…)"
+        )
+        reports.append(sharded_report)
+
     rows = []
     for report in reports:
         latency = report.latency_percentiles_ms()
@@ -484,6 +532,8 @@ def _cmd_serve_bench(args) -> int:
         payload = {
             "dataset": args.dataset,
             "recall_at_k": recall,
+            "shards": args.shards,
+            "replicas": args.replicas,
             "reports": [r.as_dict() for r in reports],
         }
         args.json.write_text(json.dumps(payload, indent=2))

@@ -25,7 +25,12 @@ import numpy as np
 
 from repro.gluon.proxies import block_boundaries, block_owner_array
 
-__all__ = ["Partition", "partition_edges", "replicate_all_partitions"]
+__all__ = [
+    "Partition",
+    "contiguous_partitions",
+    "partition_edges",
+    "replicate_all_partitions",
+]
 
 
 @dataclass
@@ -169,6 +174,64 @@ def partition_edges(
             part.to_local_array(h_dst),
         )
         partitions.append(part)
+    return partitions
+
+
+def contiguous_partitions(
+    master_bounds: np.ndarray, replicas: int = 1
+) -> list[Partition]:
+    """Edge-free partitions over explicit contiguous master blocks.
+
+    ``master_bounds`` (length ``B + 1``, starting at 0, non-decreasing)
+    gives each of ``B`` blocks the node range
+    ``[master_bounds[b], master_bounds[b + 1])``.  With ``replicas == 1``
+    each block is one host holding exactly its own rows — the sharded
+    embedding-store layout of :mod:`repro.serve.shard`.
+
+    With ``replicas > 1`` every block is served by ``replicas`` hosts:
+    host ``b * replicas`` is the master of the block, and hosts
+    ``b * replicas + 1 ..`` hold the same rows as mirrors (their master
+    blocks are zero-width).  The expanded boundary array keeps
+    :func:`~repro.gluon.proxies.block_owner_array`'s invariant — a node's
+    owner is always the first host of its block group — so
+    :func:`~repro.gluon.partition_stats.analyze_partitions` sees masters
+    covering the nodes exactly once and a replication factor equal to
+    ``replicas``.
+    """
+    bounds = np.asarray(master_bounds, dtype=np.int64)
+    if bounds.ndim != 1 or len(bounds) < 2:
+        raise ValueError(f"master_bounds needs at least 2 entries, got {bounds.shape}")
+    if bounds[0] != 0:
+        raise ValueError(f"master_bounds must start at 0, got {bounds[0]}")
+    if np.any(np.diff(bounds) < 0):
+        raise ValueError("master_bounds must be non-decreasing")
+    if replicas < 1:
+        raise ValueError(f"replicas must be at least 1, got {replicas}")
+    num_blocks = len(bounds) - 1
+    num_nodes = int(bounds[-1])
+    num_hosts = num_blocks * replicas
+
+    expanded = np.empty(num_hosts + 1, dtype=np.int64)
+    for b in range(num_blocks):
+        expanded[b * replicas] = bounds[b]
+        expanded[b * replicas + 1 : (b + 1) * replicas] = bounds[b + 1]
+    expanded[-1] = bounds[-1]
+
+    empty = (np.empty(0, np.int64), np.empty(0, np.int64))
+    partitions: list[Partition] = []
+    for b in range(num_blocks):
+        rows = np.arange(bounds[b], bounds[b + 1], dtype=np.int64)
+        for r in range(replicas):
+            partitions.append(
+                Partition(
+                    host=b * replicas + r,
+                    num_hosts=num_hosts,
+                    num_global_nodes=num_nodes,
+                    local_to_global=rows,
+                    master_bounds=expanded,
+                    edges_local=empty,
+                )
+            )
     return partitions
 
 

@@ -20,6 +20,13 @@ serves nearest-neighbor queries over it at scale:
 - :mod:`repro.serve.engine` — :class:`QueryEngine`, micro-batching with a
   bounded LRU result cache, executing batches on a
   :class:`~repro.galois.do_all.DoAllExecutor`,
+- :mod:`repro.serve.shard` — the distributed tier: :class:`ShardPlan`
+  splits a store into grid-aligned contiguous shards (gluon's block
+  distribution, replicas as mirrors), :class:`ShardedIndex` scatter-
+  gathers top-k across them bit-identically to a single-host
+  :class:`ExactIndex`, with load-aware replica routing, fault-schedule
+  driven failover, and hot-swappable store generations carrying sha256
+  answer fingerprints (:class:`ShardedEngine`),
 - :mod:`repro.serve.loadgen` — a seed-deterministic load generator
   (Zipf query mix, fixed arrival schedule) emitting a
   :class:`ServeReport` (throughput, latency percentiles, cache hit rate)
@@ -46,6 +53,12 @@ from repro.serve.loadgen import (
     sweep_frontier,
 )
 from repro.serve.quant import Int8Store, PQStore, open_codes
+from repro.serve.shard import (
+    ShardedEngine,
+    ShardedIndex,
+    ShardGeneration,
+    ShardPlan,
+)
 from repro.serve.store import EmbeddingStore
 
 __all__ = [
@@ -64,6 +77,10 @@ __all__ = [
     "LRUCache",
     "CacheStats",
     "EngineStats",
+    "ShardPlan",
+    "ShardGeneration",
+    "ShardedIndex",
+    "ShardedEngine",
     "LoadConfig",
     "ServeReport",
     "run_load",

@@ -284,13 +284,22 @@ class QueryEngine:
             # reaches it — so cache accounting never depends on how the
             # stream is chopped into batches.
             missing: list[tuple[str, int]] = []
+            missing_seen: set[tuple[str, int]] = set()
             waiting: list[QueryTicket] = []
             for ticket in batch:
                 key = (ticket.word, ticket.k)
                 cached = self.cache.get(key)  # counts hit or miss
                 if cached is None:
                     self.cache.put(key, _PENDING)
-                    missing.append(key)
+                    # A key re-misses within one flush when its _PENDING
+                    # placeholder was evicted by a later miss (cache
+                    # smaller than the flush).  The replay above still
+                    # counts the miss and re-inserts the placeholder —
+                    # accounting is untouched — but the key must be
+                    # searched once, not once per re-miss.
+                    if key not in missing_seen:
+                        missing_seen.add(key)
+                        missing.append(key)
                     waiting.append(ticket)
                 elif cached is _PENDING:
                     waiting.append(ticket)

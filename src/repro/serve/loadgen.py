@@ -68,8 +68,12 @@ class LoadConfig:
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
-        if self.num_queries <= 0:
-            raise ValueError(f"num_queries must be positive, got {self.num_queries}")
+        # num_queries == 0 is a legal degenerate run: the report has an
+        # empty stream, zero throughput and all-zero percentiles.
+        if self.num_queries < 0:
+            raise ValueError(
+                f"num_queries must be non-negative, got {self.num_queries}"
+            )
         if self.k <= 0:
             raise ValueError(f"k must be positive, got {self.k}")
         if self.zipf_exponent < 0:
@@ -243,12 +247,11 @@ class ServeReport:
 
 
 def _fingerprint(words: list[str], results: list[tuple[np.ndarray, np.ndarray]]) -> str:
+    from repro.serve.shard import fingerprint_update
+
     digest = hashlib.sha256()
     for word, (ids, scores) in zip(words, results):
-        digest.update(word.encode("utf-8"))
-        digest.update(b"\x00")
-        digest.update(np.ascontiguousarray(ids, dtype=np.int64).tobytes())
-        digest.update(np.ascontiguousarray(scores, dtype=np.float32).tobytes())
+        fingerprint_update(digest, word, ids, scores)
     return digest.hexdigest()
 
 
@@ -259,10 +262,12 @@ def run_load(
 ) -> ServeReport:
     """Drive ``engine`` with the workload of ``config``; report the run.
 
-    The engine's stats are reset first so the report covers exactly this
-    run.  Queries are submitted in schedule order (the engine's
-    ``max_batch`` chops them into batches) and a final flush drains the
-    tail.
+    Queries already sitting in the engine's buffer are flushed first and
+    the stats reset, so the report covers exactly this run (a stale
+    pending query would otherwise skew the first batch's size and walk
+    the arrival cursor past the schedule).  Queries are submitted in
+    schedule order (the engine's ``max_batch`` chops them into batches)
+    and a final flush drains the tail.
     """
     config = config or LoadConfig()
     store = engine.index.store
@@ -270,6 +275,8 @@ def run_load(
     words = [store.word_of(int(i)) for i in query_ids]
     arrivals = _arrival_times_us(config)
 
+    if engine.pending:
+        engine.flush()
     engine.reset_stats()
     wall = StatTimer("serve.load")
     with wall:
@@ -282,8 +289,12 @@ def run_load(
     batch_arrivals: list[float] = []
     cursor = 0
     for size in stats.batch_sizes:
-        batch_arrivals.append(float(arrivals[cursor]))
+        batch_arrivals.append(float(arrivals[min(cursor, len(arrivals) - 1)]))
         cursor += size
+    extras: dict = {}
+    serve_extras = getattr(engine, "serve_extras", None)
+    if callable(serve_extras):
+        extras.update(serve_extras())
     return ServeReport(
         index_label=index_label,
         num_queries=config.num_queries,
@@ -299,6 +310,7 @@ def run_load(
         total_seconds=wall.total,
         max_batch=engine.max_batch,
         search_block=engine.search_block,
+        extras=extras,
     )
 
 

@@ -268,18 +268,33 @@ class EmbeddingStore:
             with np.load(directory / _NPZ_NAME) as data:
                 matrix, norms = data["matrix"], data["norms"]
         elif fmt == "raw":
-            shape_bytes = V * dim * 4
+            # Validate both file sizes against the meta.json shape before
+            # reading anything: a truncated file must fail with an error
+            # naming the meta.json fields it contradicts, not surface as
+            # a numpy reshape error (or, for norms, a constructor shape
+            # error) halfway through loading.
+            matrix_bytes = V * dim * 4
             matrix_path = directory / _RAW_MATRIX_NAME
-            if matrix_path.stat().st_size != shape_bytes:
+            if matrix_path.stat().st_size != matrix_bytes:
                 raise ValueError(
-                    f"{_RAW_MATRIX_NAME} is {matrix_path.stat().st_size} bytes, "
-                    f"expected {shape_bytes} for a {V}x{dim} float32 matrix"
+                    f"{where}: {_RAW_MATRIX_NAME} is "
+                    f"{matrix_path.stat().st_size} bytes but meta.json fields "
+                    f"'vocab_size'/'dim' imply {matrix_bytes} "
+                    f"({V}x{dim} float32)"
+                )
+            norms_path = directory / _RAW_NORMS_NAME
+            norms_bytes = V * 4
+            if norms_path.stat().st_size != norms_bytes:
+                raise ValueError(
+                    f"{where}: {_RAW_NORMS_NAME} is "
+                    f"{norms_path.stat().st_size} bytes but meta.json field "
+                    f"'vocab_size' implies {norms_bytes} ({V} float32 norms)"
                 )
             if mmap:
                 matrix = np.memmap(matrix_path, dtype="<f4", mode="r", shape=(V, dim))
             else:
                 matrix = np.fromfile(matrix_path, dtype="<f4").reshape(V, dim)
-            norms = np.fromfile(directory / _RAW_NORMS_NAME, dtype="<f4")
+            norms = np.fromfile(norms_path, dtype="<f4")
         else:
             raise ValueError(
                 f"{where}: unknown meta.json field 'format' value {fmt!r} "

@@ -35,6 +35,7 @@ def test_examples_exist():
         "node_embeddings.py",
         "fault_injection.py",
         "serve_embeddings.py",
+        "sharded_serving.py",
     } <= names
 
 
@@ -71,3 +72,12 @@ def test_serve_embeddings_example():
     assert "store round-trip ok" in out
     assert "recall@10" in out
     assert "modeled results identical across runs and worker counts" in out
+
+
+@pytest.mark.slow
+def test_sharded_serving_example():
+    out = run_example("sharded_serving.py")
+    assert "bit-identical to the single-host reference" in out
+    assert "replica failover survived a crash" in out
+    assert "answers unchanged" in out
+    assert "promoted under live load" in out

@@ -179,6 +179,62 @@ class TestCacheAccounting:
         engine.flush()
         assert all(t.done for t in tickets)
 
+    def test_evicted_placeholder_not_searched_twice(self):
+        """Regression: with cache_size < max_batch, a key whose _PENDING
+        placeholder was evicted mid-flush re-misses on its next occurrence
+        — it must re-enter the accounting replay but NOT the search batch.
+        """
+
+        class CountingIndex:
+            def __init__(self, inner):
+                self.inner = inner
+                self.rows_searched = 0
+
+            @property
+            def store(self):
+                return self.inner.store
+
+            def search(self, queries, k):
+                self.rows_searched += np.atleast_2d(queries).shape[0]
+                return self.inner.search(queries, k)
+
+        counting = CountingIndex(make_index())
+        engine = QueryEngine(counting, max_batch=10, cache_size=1)
+        # Stream [a, b, a]: b's miss evicts a's placeholder, so a re-misses.
+        tickets = [engine.submit(w) for w in ("w001", "w002", "w001")]
+        engine.flush()
+        assert all(t.done for t in tickets)
+        np.testing.assert_array_equal(tickets[0].result[0], tickets[2].result[0])
+        # Accounting still replays one-query-at-a-time serving exactly:
+        # three misses (a, b, a-again), two placeholder evictions.
+        assert engine.stats.cache.misses == 3
+        assert engine.stats.cache.hits == 0
+        assert engine.stats.cache.evictions == 2
+        # ...but only the two distinct keys hit the index.
+        assert counting.rows_searched == 2
+
+    def test_thrashed_flush_searches_each_distinct_key_once(self):
+        class CountingIndex:
+            def __init__(self, inner):
+                self.inner = inner
+                self.rows_searched = 0
+
+            @property
+            def store(self):
+                return self.inner.store
+
+            def search(self, queries, k):
+                self.rows_searched += np.atleast_2d(queries).shape[0]
+                return self.inner.search(queries, k)
+
+        words = [f"w{i % 9:03d}" for i in default_rng(6).integers(0, 25, 80)]
+        counting = CountingIndex(make_index())
+        engine = QueryEngine(counting, max_batch=80, cache_size=2)
+        tickets = [engine.submit(word) for word in words]
+        engine.flush()
+        assert all(t.done for t in tickets)
+        assert counting.rows_searched == len(set(words))
+
     def test_reset_stats_keeps_cache_contents(self):
         engine = QueryEngine(make_index(), max_batch=1)
         engine.query(["w001"])

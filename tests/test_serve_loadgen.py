@@ -49,7 +49,7 @@ class TestGenerateQueries:
         with pytest.raises(ValueError, match="vocab_size"):
             generate_queries(0, LoadConfig())
         with pytest.raises(ValueError, match="num_queries"):
-            LoadConfig(num_queries=0)
+            LoadConfig(num_queries=-1)
         with pytest.raises(ValueError, match="zipf_exponent"):
             LoadConfig(zipf_exponent=-1)
         with pytest.raises(ValueError, match="arrival_qps"):
@@ -124,6 +124,53 @@ class TestRunLoad:
         report = run_load(engine, LoadConfig(num_queries=40, seed=3))
         assert report.num_queries == 40
         assert sum(report.batch_sizes) == 40
+
+    def test_stale_pending_queries_drained_before_run(self):
+        """Submitted-but-unflushed queries must not leak into the report:
+        they would skew the first batch's size and walk the arrival
+        cursor past the end of the schedule."""
+        store = make_store()
+        engine = QueryEngine(ExactIndex(store), max_batch=64)
+        stale = [engine.submit(f"w{i:03d}") for i in range(5)]
+        assert engine.pending == 5
+        report = run_load(engine, LoadConfig(num_queries=30, seed=7))
+        assert all(t.done for t in stale)
+        assert report.num_queries == 30
+        assert sum(report.batch_sizes) == 30
+        assert len(report.batch_arrival_us) == len(report.batch_sizes)
+
+    def test_zero_query_run_is_well_defined(self):
+        """num_queries=0 is a legal degenerate run: empty stream, zero
+        throughput, all-zero percentiles, and a valid (empty) report."""
+        store = make_store()
+        engine = QueryEngine(ExactIndex(store), max_batch=16, cache_size=8)
+        config = LoadConfig(num_queries=0, seed=11)
+        assert generate_queries(100, config).shape == (0,)
+        report = run_load(engine, config, index_label="exact")
+        assert report.num_queries == 0
+        assert report.batch_sizes == []
+        assert report.batch_arrival_us == []
+        assert report.cache_hits == 0 and report.cache_misses == 0
+        assert report.cache_hit_rate == 0.0
+        assert report.throughput_qps == 0.0
+        assert report.latency_percentiles_ms() == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0
+        }
+        assert len(report.answers_sha256) == 64
+        payload = json.loads(report.to_json())
+        assert payload["batch_size_histogram"] == {}
+        assert "serve" in report.trace_json()
+
+    def test_single_batch_run(self):
+        """The whole stream fits one flush: one batch, one arrival stamp."""
+        store = make_store()
+        engine = QueryEngine(ExactIndex(store), max_batch=64, cache_size=64)
+        report = run_load(engine, LoadConfig(num_queries=16, seed=8))
+        assert report.batch_sizes == [16]
+        assert len(report.batch_seconds) == 1
+        assert len(report.batch_arrival_us) == 1
+        latency = report.latency_percentiles_ms()
+        assert latency["p50"] == latency["p99"]  # every query shares the batch
 
 
 class TestExport:

@@ -1,18 +1,23 @@
 """Hypothesis battery over the serving indexes (Exact / LSH / IVF).
 
-Four contracts every index must hold, hunted over random stores/seeds:
-batched search is *bitwise* identical to one-query-at-a-time search,
-IVF recall@k is monotone non-decreasing in ``nprobe``, ``k`` covering the
-vocab degrades every index to the exact ranking, and exactly-tied scores
-(duplicate rows) always break toward the lowest id.
+Contracts hunted over random stores/seeds: batched search is *bitwise*
+identical to one-query-at-a-time search, IVF recall@k is monotone
+non-decreasing in ``nprobe``, ``k`` covering the vocab degrades every
+index to the exact ranking, exactly-tied scores (duplicate rows) always
+break toward the lowest id, the engine's cache accounting is a pure
+function of the query stream (invariant to ``max_batch``, even when the
+cache is smaller than a batch), and the sharded scatter-gather merge is
+bitwise invariant to the shard/replica layout.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.serve.engine import QueryEngine
 from repro.serve.index import ExactIndex, LSHIndex, recall_at_k
 from repro.serve.ivf import IVFIndex
+from repro.serve.shard import ShardedIndex, ShardPlan
 from repro.serve.store import EmbeddingStore
 from repro.util.rng import keyed_rng
 
@@ -114,3 +119,69 @@ class TestTieBreaking:
         group = ids[0, : dupes + 1]
         assert group.tolist() == list(range(dupes + 1))
         assert np.all(scores[0, : dupes + 1] == scores[0, 0])
+
+
+class TestCacheAccountingPureFunctionOfStream:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=seeds,
+        cache_size=st.integers(1, 6),
+        max_batches=st.tuples(
+            st.integers(1, 4), st.integers(5, 30), st.integers(31, 200)
+        ),
+    )
+    def test_invariant_to_max_batch_even_below_cache_size(
+        self, seed, cache_size, max_batches
+    ):
+        """Hits/misses/evictions replay one-query-at-a-time serving for
+        *every* batch chopping — including ``cache_size < max_batch``,
+        where in-flight ``_PENDING`` placeholders thrash out mid-flush."""
+        store = make_store(V=40, d=8, seed=seed)
+        rng = keyed_rng(seed, _QUERY_DOMAIN, 0x434143)  # "CAC"
+        words = [store.word_of(int(i)) for i in rng.integers(0, 12, size=120)]
+        signatures = set()
+        for max_batch in (1, *max_batches):
+            engine = QueryEngine(
+                ExactIndex(store), max_batch=max_batch, cache_size=cache_size
+            )
+            tickets = [engine.submit(word) for word in words]
+            engine.flush()
+            assert all(t.done for t in tickets)
+            cache = engine.stats.cache
+            signatures.add((cache.hits, cache.misses, cache.evictions))
+        assert len(signatures) == 1, signatures
+
+
+class TestShardLayoutInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=seeds,
+        num_shards=st.integers(1, 6),
+        replicas=st.integers(1, 3),
+        k=st.integers(1, 15),
+    )
+    def test_merge_bitwise_invariant_to_layout(self, seed, num_shards, replicas, k):
+        """Scatter-gather answers are bit-identical to the single-host
+        reference index for every (shards, replicas) layout."""
+        store = make_store(V=90, d=12, seed=seed)
+        queries = make_queries(store, 8, seed)
+        sharded = ShardedIndex(store, num_shards=num_shards, replicas=replicas)
+        reference = sharded.plan.reference_index(store)
+        ids, scores = sharded.search(queries, k)
+        ref_ids, ref_scores = reference.search(queries, k)
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(scores, ref_scores)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds, block_rows=st.integers(4, 40))
+    def test_explicit_grid_still_bitwise(self, seed, block_rows):
+        """Any block grid works as long as shards and reference share it."""
+        store = make_store(V=70, d=10, seed=seed)
+        queries = make_queries(store, 6, seed)
+        plan = ShardPlan(len(store), num_shards=2, block_rows=block_rows)
+        sharded = ShardedIndex(store, plan=plan)
+        reference = plan.reference_index(store)
+        ids, scores = sharded.search(queries, 9)
+        ref_ids, ref_scores = reference.search(queries, 9)
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(scores, ref_scores)

@@ -155,6 +155,30 @@ class TestPersistence:
         with pytest.raises(ValueError, match="bytes"):
             EmbeddingStore.open(path)
 
+    def test_truncated_matrix_error_names_meta_fields(self, store, tmp_path):
+        path = store.save(tmp_path / "s", format="raw")
+        raw = path / "vectors.f32"
+        raw.write_bytes(raw.read_bytes()[:-4])
+        with pytest.raises(ValueError, match=r"vectors\.f32 .*'vocab_size'/'dim'"):
+            EmbeddingStore.open(path)
+        # mmap mode validates the same way, before mapping.
+        with pytest.raises(ValueError, match=r"vectors\.f32"):
+            EmbeddingStore.open(path, mmap=True)
+
+    def test_truncated_norms_error_names_meta_field(self, store, tmp_path):
+        path = store.save(tmp_path / "s", format="raw")
+        raw = path / "norms.f32"
+        raw.write_bytes(raw.read_bytes()[:-4])
+        with pytest.raises(ValueError, match=r"norms\.f32 .*'vocab_size'"):
+            EmbeddingStore.open(path)
+
+    def test_oversized_norms_rejected_up_front(self, store, tmp_path):
+        path = store.save(tmp_path / "s", format="raw")
+        raw = path / "norms.f32"
+        raw.write_bytes(raw.read_bytes() + b"\x00\x00\x00\x00")
+        with pytest.raises(ValueError, match=r"norms\.f32"):
+            EmbeddingStore.open(path)
+
     def test_meta_word_count_mismatch(self, store, tmp_path):
         import json
 
