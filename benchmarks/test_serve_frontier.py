@@ -1,4 +1,3 @@
-# repro: allow-file[REPRO003]
 """The recall-vs-QPS frontier: IVF / int8 / PQ against brute force.
 
 Runs :func:`repro.serve.loadgen.sweep_frontier` at serving scale

@@ -6,9 +6,9 @@ dataset, and the GEM-style trainer exceeds its (scaled) memory budget on
 wiki-sim.
 """
 
+from benchmarks.conftest import full_scale
 import numpy as np
 
-from benchmarks.conftest import full_scale
 from repro.experiments import table23
 
 

@@ -9,8 +9,8 @@ deterministic load generator and prints the ``ServeReport``.
 Run:  python examples/serve_embeddings.py
 """
 
-import tempfile
 from pathlib import Path
+import tempfile
 
 import numpy as np
 

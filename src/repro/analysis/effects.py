@@ -1,0 +1,52 @@
+"""Effect declarations for the interprocedural dataflow analyzer.
+
+Numeric kernels (the SGNS/CBOW update loops, BLAS-backed scoring) index
+arrays through data the static analyzer cannot see — the training batch
+decides which embedding rows a call touches.  Instead of teaching the
+analyzer NumPy semantics, such functions *declare* their effects and the
+analyzer (:mod:`repro.analysis.summaries`) trusts the declaration instead
+of descending into the body.
+
+The declaration is read from the **AST** of the decorator call, so the
+grammar is restricted to string literals:
+
+- ``"name"`` — the whole object is touched (any row may be read/written);
+- ``"name[rows]"`` — a data-dependent row subset is touched (rows may
+  overlap between two invocations);
+- ``"name[<param>]"`` — rows derived from the named parameter (two calls
+  with distinct values for that parameter touch disjoint rows).
+
+``name`` is a parameter name, or ``self.attr`` for instance state.  At
+runtime the decorator only attaches the declaration as
+``__repro_effects__`` (for introspection and tests) and returns the
+function unchanged — declaring effects costs nothing on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["declare_effects"]
+
+F = TypeVar("F", bound=Callable)
+
+
+def declare_effects(
+    *, reads: tuple[str, ...] | list[str] = (), writes: tuple[str, ...] | list[str] = ()
+) -> Callable[[F], F]:
+    """Declare the read/write effect sets of a function for the analyzer.
+
+    See the module docstring for the target grammar.  The decorator is a
+    runtime no-op apart from attaching ``__repro_effects__``.
+    """
+    reads = tuple(reads)
+    writes = tuple(writes)
+    for spec in (*reads, *writes):
+        if not isinstance(spec, str) or not spec:
+            raise TypeError(f"effect specs must be non-empty strings, got {spec!r}")
+
+    def wrap(fn: F) -> F:
+        fn.__repro_effects__ = {"reads": reads, "writes": writes}
+        return fn
+
+    return wrap

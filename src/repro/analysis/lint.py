@@ -29,10 +29,19 @@ Project-specific rules that encode the repository's determinism contract
   accumulators/worklists (:mod:`repro.galois.accumulators`), or
   single-writer cells indexed by the operator's own parameter.
 
+The interprocedural rule families (``REPRO101/102`` seed flow,
+``REPRO111/112`` do_all effect overlaps, ``REPRO121/122`` gluon sync
+protocol) live in :mod:`repro.analysis.dataflow` and run with
+``--dataflow``; they report through the same reporters and suppression
+machinery as the local rules above.
+
 Suppression: append ``# repro: noqa[REPRO003]`` (or bare
 ``# repro: noqa`` for all rules) to the offending line, or opt a whole
 file out of specific rules with ``# repro: allow-file[REPRO003]`` on any
-line.  Suppressions should carry a justification comment.
+line.  Suppressions should carry a justification comment.  Only real
+comment tokens count — pragma-shaped text inside strings or docstrings
+(like the ones in this paragraph) is inert.  ``--report-unused-noqa``
+flags pragmas that no longer suppress anything (``REPRO900``).
 
 Run as ``python -m repro.analysis [paths...]``; exits 0 when clean, 1
 with findings, 2 on usage or syntax errors.
@@ -42,17 +51,20 @@ from __future__ import annotations
 
 import argparse
 import ast
+from dataclasses import dataclass, replace
+import io
 import json
+from pathlib import Path, PurePath
 import re
 import sys
-from dataclasses import dataclass
-from pathlib import Path, PurePath
+import tokenize
 from typing import Iterable, Sequence
 
 __all__ = [
     "Finding",
     "Rule",
     "RULES",
+    "LOCAL_RULE_IDS",
     "lint_source",
     "lint_paths",
     "render_text",
@@ -68,7 +80,7 @@ class Finding:
     rule: str
     path: str
     line: int
-    col: int
+    col: int  # 1-based in finalized findings (text and JSON agree)
     message: str
 
     def as_dict(self) -> dict:
@@ -124,7 +136,54 @@ RULES: dict[str, Rule] = {
         "do_all operator mutates closure state outside accumulators/worklists "
         "or param-indexed single-writer cells",
     ),
+    # Interprocedural dataflow rules (repro.analysis.dataflow, --dataflow).
+    "REPRO101": Rule(
+        "REPRO101",
+        "seed-collision",
+        "two stochastic sites instantiate the same constant seed key; their "
+        "'independent' streams are bit-identical",
+    ),
+    "REPRO102": Rule(
+        "REPRO102",
+        "seed-underkeyed",
+        "seed key ignores an available per-host/per-round parameter; every "
+        "value of it sees the same RNG stream",
+    ),
+    "REPRO111": Rule(
+        "REPRO111",
+        "doall-write-overlap",
+        "do_all operator may write shared storage at a non-item-derived index "
+        "(cross-chunk write-write overlap; static DoAllRaceSanitizer)",
+    ),
+    "REPRO112": Rule(
+        "REPRO112",
+        "doall-read-overlap",
+        "do_all operator reads shared storage the same loop writes, outside "
+        "its own item (cross-chunk read-write overlap)",
+    ),
+    "REPRO121": Rule(
+        "REPRO121",
+        "gluon-unflagged-write",
+        "FieldSync mirror write can reach a round barrier without set_many "
+        "flagging or a base rebase; sync_replicated would drop the delta",
+    ),
+    "REPRO122": Rule(
+        "REPRO122",
+        "gluon-stale-read",
+        "FieldSync mirror read outside master_block_slice confinement may "
+        "observe pre-sync staleness beyond PullModel's contract",
+    ),
+    "REPRO900": Rule(
+        "REPRO900",
+        "unused-suppression",
+        "# repro: noqa[...] / allow-file[...] pragma that no longer "
+        "suppresses anything (--report-unused-noqa)",
+    ),
 }
+
+#: Rules produced by the file-local lint passes in this module (the
+#: dataflow rules live in repro.analysis.dataflow; REPRO900 is meta).
+LOCAL_RULE_IDS = frozenset({f"REPRO00{i}" for i in range(1, 6)})
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
 _ALLOW_FILE_RE = re.compile(r"#\s*repro:\s*allow-file\[([A-Za-z0-9_,\s]+)\]")
@@ -615,17 +674,60 @@ def _rule_ids(raw: str) -> set[str]:
     return {part.strip() for part in raw.split(",") if part.strip()}
 
 
-def _apply_suppressions(findings: list[Finding], source: str) -> list[Finding]:
-    lines = source.splitlines()
-    file_allowed: set[str] = set()
-    noqa_by_line: dict[int, set[str] | None] = {}  # None = all rules
-    for lineno, text in enumerate(lines, start=1):
+@dataclass(frozen=True)
+class _Pragma:
+    kind: str  # "noqa" or "allow-file"
+    line: int
+    col: int  # 0-based column of the comment token
+    rules: frozenset[str] | None  # None = all rules (bare noqa)
+
+
+def _collect_pragmas(source: str) -> list[_Pragma]:
+    """Suppression pragmas from *comment tokens* only.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps pragma-shaped
+    text inside docstrings and string literals from acting as a live
+    suppression — this module's own docstring documents the pragma syntax
+    and must not thereby suppress anything.
+    """
+    pragmas: list[_Pragma] = []
+
+    def scan(text: str, line: int, col: int) -> None:
         allow = _ALLOW_FILE_RE.search(text)
         if allow:
-            file_allowed |= _rule_ids(allow.group(1))
+            pragmas.append(
+                _Pragma("allow-file", line, col, frozenset(_rule_ids(allow.group(1))))
+            )
         noqa = _NOQA_RE.search(text)
         if noqa:
-            noqa_by_line[lineno] = _rule_ids(noqa.group(1)) if noqa.group(1) else None
+            rules = frozenset(_rule_ids(noqa.group(1))) if noqa.group(1) else None
+            pragmas.append(_Pragma("noqa", line, col, rules))
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                scan(tok.string, tok.start[0], tok.start[1])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unterminated constructs etc.: fall back to a raw line scan so a
+        # broken file never silently loses its suppressions.
+        pragmas.clear()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            scan(text, lineno, 0)
+    return pragmas
+
+
+def _apply_suppressions(findings: list[Finding], source: str) -> list[Finding]:
+    file_allowed: set[str] = set()
+    noqa_by_line: dict[int, set[str] | None] = {}  # None = all rules
+    for pragma in _collect_pragmas(source):
+        if pragma.kind == "allow-file":
+            file_allowed |= set(pragma.rules or ())
+        else:
+            existing = noqa_by_line.get(pragma.line, set())
+            if pragma.rules is None or existing is None:
+                noqa_by_line[pragma.line] = None  # bare noqa wins: all rules
+            else:
+                noqa_by_line[pragma.line] = existing | set(pragma.rules)
 
     kept: list[Finding] = []
     for f in findings:
@@ -638,10 +740,22 @@ def _apply_suppressions(findings: list[Finding], source: str) -> list[Finding]:
     return kept
 
 
-def lint_source(
-    source: str, path: str = "<string>", select: Iterable[str] | None = None
+def _finalize_findings(
+    findings: list[Finding], source: str, select: Iterable[str] | None = None
 ) -> list[Finding]:
-    """Lint one module's source; returns suppression-filtered findings."""
+    """Shared post-processing for every pass: shift raw ``col_offset``
+    columns to 1-based, filter by ``select``, apply suppressions, sort."""
+    findings = [replace(f, col=f.col + 1) for f in findings]
+    if select is not None:
+        wanted = set(select)
+        findings = [f for f in findings if f.rule in wanted]
+    findings = _apply_suppressions(findings, source)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _raw_lint_findings(source: str, path: str = "<string>") -> list[Finding]:
+    """The file-local rule findings, unsuppressed, with raw 0-based columns."""
     tree = ast.parse(source, filename=path)
     imports = _Imports()
     imports.visit(tree)
@@ -650,12 +764,14 @@ def lint_source(
     findings += _check_wallclock(tree, imports, path)
     findings += _check_unordered_iter(tree, path)
     findings += _check_doall_closures(tree, path)
-    if select is not None:
-        wanted = set(select)
-        findings = [f for f in findings if f.rule in wanted]
-    findings = _apply_suppressions(findings, source)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint one module's source; returns suppression-filtered findings."""
+    return _finalize_findings(_raw_lint_findings(source, path), source, select)
 
 
 def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
@@ -680,6 +796,68 @@ def lint_paths(
         findings.extend(
             lint_source(file.read_text(encoding="utf-8"), str(file), select=select)
         )
+    return findings
+
+
+def _unused_suppressions(
+    sources: dict[str, str],
+    raw_by_file: dict[str, list[Finding]],
+    checked_rules: frozenset[str] | set[str],
+) -> list[Finding]:
+    """REPRO900 findings for pragmas that no longer suppress anything.
+
+    ``raw_by_file`` must hold *unsuppressed* findings from every pass that
+    actually ran; ``checked_rules`` names those passes' rules.  A pragma
+    mentioning only rules outside ``checked_rules`` is left alone — this
+    run cannot tell whether it is stale.  REPRO900 findings are exempt
+    from suppression on purpose: a stale bare ``# repro: noqa`` would
+    otherwise suppress its own staleness report.
+    """
+    findings: list[Finding] = []
+    for path, source in sources.items():
+        raw = raw_by_file.get(path, [])
+        rules_by_line: dict[int, set[str]] = {}
+        rules_in_file: set[str] = set()
+        for f in raw:
+            rules_by_line.setdefault(f.line, set()).add(f.rule)
+            rules_in_file.add(f.rule)
+        for pragma in _collect_pragmas(source):
+            if pragma.kind == "noqa":
+                hit_rules = rules_by_line.get(pragma.line, set())
+                if pragma.rules is None:
+                    if hit_rules:
+                        continue
+                    detail = "bare '# repro: noqa' suppresses nothing on this line"
+                else:
+                    relevant = pragma.rules & checked_rules
+                    if not relevant:
+                        continue
+                    stale = sorted(relevant - hit_rules)
+                    if not stale:
+                        continue
+                    detail = (
+                        f"noqa[{', '.join(stale)}] suppresses nothing on this line"
+                    )
+            else:  # allow-file
+                relevant = (pragma.rules or frozenset()) & checked_rules
+                if not relevant:
+                    continue
+                stale = sorted(relevant - rules_in_file)
+                if not stale:
+                    continue
+                detail = (
+                    f"allow-file[{', '.join(stale)}] suppresses nothing in this file"
+                )
+            findings.append(
+                Finding(
+                    "REPRO900",
+                    path,
+                    pragma.line,
+                    pragma.col + 1,
+                    f"{detail}; remove the stale pragma",
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col))
     return findings
 
 
@@ -723,13 +901,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated rule ids to enable (default: all)",
     )
     parser.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="also run the interprocedural dataflow passes (REPRO1xx)",
+    )
+    parser.add_argument(
+        "--report-unused-noqa",
+        action="store_true",
+        help="flag noqa/allow-file pragmas that no longer suppress anything "
+        "(REPRO900, judged against the passes that ran)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for rule in RULES.values():
-            print(f"{rule.id}  {rule.name:16s} {rule.summary}")
+            print(f"{rule.id}  {rule.name:20s} {rule.summary}")
         return 0
 
     select = _rule_ids(args.select) if args.select else None
@@ -739,13 +928,36 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"unknown rule id(s): {', '.join(sorted(unknown))}", file=sys.stderr)
             return 2
     try:
-        findings = lint_paths(args.paths, select=select)
+        files = _collect_files(args.paths)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    sources = {str(f): f.read_text(encoding="utf-8") for f in files}
+    raw_by_file: dict[str, list[Finding]] = {}
+    try:
+        for path, source in sources.items():
+            raw_by_file[path] = _raw_lint_findings(source, path)
+        if args.dataflow:
+            from . import dataflow as _dataflow
+
+            for f in _dataflow.analyze_files(files):
+                raw_by_file.setdefault(f.path, []).append(f)
     except SyntaxError as exc:
         print(f"error: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}", file=sys.stderr)
         return 2
+
+    findings: list[Finding] = []
+    for path, source in sources.items():
+        findings.extend(_finalize_findings(raw_by_file.get(path, []), source, select))
+    if args.report_unused_noqa:
+        checked = set(LOCAL_RULE_IDS)
+        if args.dataflow:
+            from .dataflow import DATAFLOW_RULE_IDS
+
+            checked |= DATAFLOW_RULE_IDS
+        findings.extend(_unused_suppressions(sources, raw_by_file, checked))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 
     print(render_json(findings) if args.format == "json" else render_text(findings))
     return 1 if findings else 0

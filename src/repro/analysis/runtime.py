@@ -33,10 +33,10 @@ instrumentation can stay in place permanently at negligible cost.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 import itertools
 import os
 import threading
-from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np

@@ -13,13 +13,13 @@
   ("vertical") distributed Word2Vec (§6 related work).
 """
 
+from repro.baselines.minibatch import MinibatchAllreduceSGD
+from repro.baselines.param_server import AsyncParameterServerSGD
 from repro.baselines.sgns_reference import (
     GensimStyleWord2Vec,
     MemoryBudgetExceeded,
     Word2VecCReference,
 )
-from repro.baselines.minibatch import MinibatchAllreduceSGD
-from repro.baselines.param_server import AsyncParameterServerSGD
 from repro.baselines.vertical import VerticalPartitionWord2Vec
 
 __all__ = [

@@ -15,8 +15,8 @@ Invoke as ``python -m repro`` or ``python -m repro.cli``.
 from __future__ import annotations
 
 import argparse
-import sys
 from pathlib import Path
+import sys
 
 __all__ = ["main", "build_parser"]
 

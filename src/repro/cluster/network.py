@@ -17,8 +17,8 @@ re-calibrate (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 
 from repro.gluon.comm import PhaseRecord
 

@@ -8,8 +8,8 @@ background section describes (sssp via Bellman-Ford and delta-stepping,
 PageRank, connected components), all synchronized through Gluon.
 """
 
-from repro.dgraph.graph import Graph
-from repro.dgraph.dist_graph import DistGraph
 from repro.dgraph.bsp import BSPEngine, RecoveryPolicy, RoundStats
+from repro.dgraph.dist_graph import DistGraph
+from repro.dgraph.graph import Graph
 
 __all__ = ["Graph", "DistGraph", "BSPEngine", "RoundStats", "RecoveryPolicy"]

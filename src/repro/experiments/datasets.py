@@ -13,8 +13,8 @@ process, so every experiment in a benchmark run sees identical data.
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
+import functools
 
 from repro.text.corpus import Corpus
 from repro.text.synthetic import (

@@ -5,9 +5,9 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import functools
 import time
-from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -8,7 +8,7 @@ single-core simulation) and a thread-pool one — behind the same API, so
 operator code is written once, Galois-style.
 """
 
-from repro.galois.worklist import ChunkedLIFO, ChunkedWorklist, OrderedByIntegerMetric
+from repro.galois.accumulators import GAccumulator, GReduceMax, GReduceMin
 from repro.galois.do_all import (
     DoAllError,
     DoAllExecutor,
@@ -18,8 +18,8 @@ from repro.galois.do_all import (
     executor_from_env,
     resolve_executor,
 )
-from repro.galois.accumulators import GAccumulator, GReduceMax, GReduceMin
 from repro.galois.timers import StatTimer, TimerRegistry
+from repro.galois.worklist import ChunkedLIFO, ChunkedWorklist, OrderedByIntegerMetric
 
 __all__ = [
     "ChunkedWorklist",

@@ -7,8 +7,8 @@ them with modeled network time for the Figure 8/9 breakdowns.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+import time
 from typing import Callable
 
 __all__ = ["StatTimer", "TimerRegistry"]

@@ -20,9 +20,9 @@ wall-clock fields (throughput, p50/p95/p99 latency), and exports as JSON
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 import hashlib
 import json
-from dataclasses import dataclass, field
 
 import numpy as np
 

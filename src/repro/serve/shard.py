@@ -44,8 +44,8 @@ hot swap is observable as a deterministic fingerprint change.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
+import hashlib
 
 import numpy as np
 

@@ -8,8 +8,8 @@ logical partitioning of the corpus file that each host reads in parallel.
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
+import io
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np

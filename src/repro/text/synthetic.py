@@ -26,8 +26,8 @@ The default family roster mirrors question-words.txt's broad structure:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
+import itertools
 from typing import Iterator
 
 import numpy as np

@@ -1,8 +1,8 @@
 """Small shared utilities: seeded RNG management, table rendering, logging."""
 
+from repro.util.logging import get_logger
 from repro.util.rng import SeedSequenceTree, default_rng, spawn_rngs
 from repro.util.tables import format_table, format_row
-from repro.util.logging import get_logger
 
 __all__ = [
     "SeedSequenceTree",

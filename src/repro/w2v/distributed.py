@@ -47,8 +47,8 @@ are exactly as reproducible as fault-free ones.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+import time
 from typing import Callable
 
 import numpy as np
@@ -76,8 +76,8 @@ from repro.galois.do_all import (
 from repro.gluon.bitvector import BitVector
 from repro.gluon.comm import VALUE_BYTES, SimulatedNetwork
 from repro.gluon.partitioner import replicate_all_partitions
-from repro.gluon.proxies import master_block_slice
 from repro.gluon.plans import CommPlan, get_plan
+from repro.gluon.proxies import master_block_slice
 from repro.gluon.sync import FieldSync, GluonSynchronizer
 from repro.text.corpus import Corpus
 from repro.text.negative_sampling import UnigramTable
@@ -343,12 +343,17 @@ class GraphWord2Vec:
         # ``e`` from the last round of ``e-1``), epochs ``< e`` can never be
         # asked for again — drop them so their shuffled sentence lists don't
         # pin dead corpus memory for the rest of the run.
-        self._epoch_chunks_cache = {
+        # The cache writes below are reachable from the parallel
+        # ``inspect_host`` operator, but never race: ``_run_round``
+        # materializes the inspected epoch serially before fanning out
+        # (see "materialize serially"), so the operator only ever hits the
+        # already-populated cache.
+        self._epoch_chunks_cache = {  # repro: noqa[REPRO111]
             k: self._epoch_chunks_cache[k]
             for k in sorted(self._epoch_chunks_cache)
             if k >= epoch
         }
-        self._epoch_chunks_cache[epoch] = per_host
+        self._epoch_chunks_cache[epoch] = per_host  # repro: noqa[REPRO111]
         return per_host
 
     def _get_work(self, epoch: int, round_index: int, host: int) -> RoundWork:

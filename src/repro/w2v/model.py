@@ -8,8 +8,8 @@ Initialization follows word2vec.c: embeddings uniform in
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
+import io
 
 import numpy as np
 

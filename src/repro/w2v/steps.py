@@ -18,11 +18,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.effects import declare_effects
 from repro.text.negative_sampling import UnigramTable
 from repro.w2v.cbow import CbowBatch, build_cbow_batch, cbow_hs_update, cbow_ns_update
+from repro.w2v.hs import hs_pairs_access, hs_update
 from repro.w2v.huffman import HuffmanTree
 from repro.w2v.params import Word2VecParams
-from repro.w2v.hs import hs_pairs_access, hs_update
 from repro.w2v.sgd import TrainingBatch, build_training_batch, sgns_update
 
 __all__ = ["RoundWork", "build_round_work", "output_rows_for"]
@@ -49,6 +50,10 @@ class RoundWork:
     def num_examples(self) -> int:
         return len(self.batch)
 
+    @declare_effects(
+        reads=("embedding[rows]", "output[rows]", "self.batch", "self.tree"),
+        writes=("embedding[rows]", "output[rows]"),
+    )
     def apply(
         self,
         embedding: np.ndarray,

@@ -3,9 +3,9 @@ that triggers it and a known-good source that passes, plus suppression,
 reporter, and CLI behavior — and the shipped tree itself lints clean."""
 
 import json
+from pathlib import Path
 import subprocess
 import sys
-from pathlib import Path
 
 import pytest
 
@@ -210,6 +210,35 @@ def test_allow_file_pragma_suppresses_rule_everywhere():
     assert rules_of(lint_source(src, "src/repro/x.py")) == ["REPRO001"]
 
 
+def test_report_unused_noqa_flags_stale_pragmas(tmp_path):
+    stale = tmp_path / "stale.py"
+    stale.write_text(
+        "# repro: allow-file[REPRO003]\n"
+        "import time\n"
+        "t = time.thread_time()  # repro: noqa[REPRO001]\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--report-unused-noqa", str(stale)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert proc.stdout.count("REPRO900") == 2
+
+
+def test_report_unused_noqa_keeps_live_pragmas(tmp_path):
+    live = tmp_path / "live.py"
+    live.write_text("import time\nt = time.time()  # repro: noqa[REPRO003]\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--report-unused-noqa", str(live)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout
+
+
 # ----------------------------------------------------------------------
 # Reporters, selection, API
 # ----------------------------------------------------------------------
@@ -227,6 +256,16 @@ def test_render_text_and_json():
     assert render_text([]) == "repro.analysis: clean"
 
 
+def test_text_and_json_columns_agree_one_based():
+    # `t = time.time()` — the call starts at source column 5 (1-based).
+    findings = lint_source("import time\nt = time.time()\n", "src/repro/x.py")
+    [finding] = findings
+    assert finding.col == 5
+    assert "src/repro/x.py:2:5:" in render_text(findings)
+    [entry] = json.loads(render_json(findings))["findings"]
+    assert (entry["line"], entry["col"]) == (2, 5)
+
+
 def test_select_restricts_rules():
     src = "import random\nimport time\nt = time.time()\n"
     only = lint_source(src, "src/repro/x.py", select=["REPRO001"])
@@ -234,7 +273,9 @@ def test_select_restricts_rules():
 
 
 def test_rule_catalog_is_complete():
-    assert set(RULES) == {f"REPRO00{i}" for i in range(1, 6)}
+    local = {f"REPRO00{i}" for i in range(1, 6)}
+    dataflow = {"REPRO101", "REPRO102", "REPRO111", "REPRO112", "REPRO121", "REPRO122"}
+    assert set(RULES) == local | dataflow | {"REPRO900"}
     for rule_id, rule in RULES.items():
         assert rule.id == rule_id
         assert rule.name and rule.summary

@@ -1,6 +1,6 @@
+from hypothesis import given, settings, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.core.combiners import (
     AvgCombiner,

@@ -1,7 +1,7 @@
-import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 from hypothesis.extra.numpy import arrays
+import numpy as np
+import pytest
 
 from repro.core.projection import (
     combine_pair,

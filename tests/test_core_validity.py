@@ -1,6 +1,6 @@
+from hypothesis import given, settings, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.core.projection import combine_pair, orthogonal_component
 from repro.core.validity import direction_validity

@@ -4,9 +4,9 @@ Only the fast examples run here (the training-heavy ones are exercised by
 the benchmark suite); each runs in a subprocess exactly as a user would.
 """
 
+from pathlib import Path
 import subprocess
 import sys
-from pathlib import Path
 
 import pytest
 

@@ -6,8 +6,8 @@ fault schedule — message drops, corruption and stragglers may cost bytes
 and modeled time but can never change what the model computes.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
+import pytest
 
 from repro.cluster.faults import FaultConfig, FaultSchedule
 from repro.text.synthetic import SyntheticCorpusSpec, generate_corpus

@@ -1,6 +1,6 @@
+from hypothesis import given, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
 
 from repro.gluon.bitvector import BitVector
 

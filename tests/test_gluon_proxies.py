@@ -1,6 +1,6 @@
+from hypothesis import given, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
 
 from repro.gluon.proxies import block_boundaries, block_owner, block_owner_array
 

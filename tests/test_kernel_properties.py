@@ -1,7 +1,7 @@
 """Additional property-based checks on the training kernels."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
+import numpy as np
 
 from repro.core.combiners import get_combiner
 from repro.w2v.sgd import TrainingBatch, sgns_update

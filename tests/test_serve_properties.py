@@ -10,9 +10,9 @@ cache is smaller than a batch), and the sharded scatter-gather merge is
 bitwise invariant to the shard/replica layout.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
 
 from repro.serve.engine import QueryEngine
 from repro.serve.index import ExactIndex, LSHIndex, recall_at_k

@@ -416,6 +416,37 @@ class TestSanitizedScatter:
         ref = run_load(ref_engine, LoadConfig(num_queries=96, k=5, seed=9))
         assert report.answers_sha256 == ref.answers_sha256
 
+    def test_env_sanitized_promote_parity(self, monkeypatch):
+        """REPRO_SANITIZE=1 with workers=4 and a hot promote is bit-identical."""
+
+        def scenario():
+            store = make_store(seed=1)
+            next_store = EmbeddingStore(
+                keyed_rng(2, _STORE_DOMAIN)
+                .normal(size=(240, 16))
+                .astype(np.float32),
+                store.words,
+            )
+            sharded = ShardedIndex(store, num_shards=3, replicas=2)
+            engine = ShardedEngine(
+                sharded, max_batch=16, cache_size=32, workers=4
+            )
+            first = run_load(
+                engine, LoadConfig(num_queries=96, k=5, seed=9), "sharded"
+            )
+            engine.promote(next_store)
+            second = run_load(
+                engine, LoadConfig(num_queries=96, k=5, seed=11), "sharded"
+            )
+            return first.answers_sha256, second.answers_sha256, engine
+
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        sanitized = scenario()
+        assert sanitized[2].sanitize_findings == []
+        monkeypatch.delenv("REPRO_SANITIZE")
+        plain = scenario()
+        assert (sanitized[0], sanitized[1]) == (plain[0], plain[1])
+
     def test_sanitized_own_pool_scatter(self):
         store = make_store()
         with ThreadPoolDoAll(workers=3) as pool:

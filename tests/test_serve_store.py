@@ -7,9 +7,9 @@ import pytest
 
 from repro.serve.store import EmbeddingStore
 from repro.text.vocab import Vocabulary
+from repro.util.rng import default_rng
 from repro.w2v.io import save_checkpoint_blob, CheckpointState, save_word2vec_text
 from repro.w2v.model import Word2VecModel
-from repro.util.rng import default_rng
 
 
 @pytest.fixture

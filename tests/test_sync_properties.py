@@ -6,8 +6,8 @@ model; the Gluon engine must produce the same canonical values through its
 master/mirror machinery under every plan.
 """
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
+import numpy as np
 
 from repro.core.combiners import get_combiner
 from repro.core.projection import combine_sequence

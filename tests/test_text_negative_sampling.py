@@ -1,6 +1,6 @@
+from hypothesis import given, settings, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.text.negative_sampling import UnigramTable, build_alias_table
 

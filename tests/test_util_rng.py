@@ -1,6 +1,6 @@
+from hypothesis import given, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
 
 from repro.util.rng import SeedSequenceTree, default_rng, hash64, spawn_rngs
 

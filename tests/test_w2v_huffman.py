@@ -1,9 +1,9 @@
 import heapq
 import itertools
 
+from hypothesis import given, settings, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.w2v.huffman import HuffmanTree
 
