@@ -8,6 +8,7 @@ Subcommands::
     repro eval --model M.npz --dataset NAME
     repro experiment {table1,table2,table3,fig6,fig7,fig8,fig9}
     repro serve-bench [--model M.npz] [--queries N] [--json FILE]
+    repro serve-bench --workload SPEC.json   # SLO-gated workload harness
 
 Invoke as ``python -m repro`` or ``python -m repro.cli``.
 """
@@ -114,7 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve-bench",
-        help="benchmark the serving layer (exact vs LSH) on a trained model",
+        help="benchmark the serving layer: exact vs LSH on a trained model, "
+             "the recall-vs-QPS frontier (--frontier), or an SLO-gated "
+             "multi-tenant workload (--workload)",
     )
     serve.add_argument("--model", type=Path, help="saved model (.npz); trains fresh if omitted")
     serve.add_argument("--dataset", default="tiny-sim", help="synthetic preset name")
@@ -166,6 +169,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="re-verify the sweep against the recall floors "
                                "recorded under 'frontier_smoke' in FILE; exits "
                                "1 if any point regressed")
+    workload = serve.add_argument_group(
+        "workload", "multi-tenant workload harness with SLO verdicts"
+    )
+    workload.add_argument("--workload", type=Path, metavar="SPEC.json",
+                          help="run a workload spec (backend plugin, arrival "
+                               "process, tenant mix, SLOs) instead of the "
+                               "fixed exact/LSH benchmark; exits 1 if any SLO "
+                               "verdict fails")
+    workload.add_argument("--bench-json", type=Path, metavar="FILE",
+                          default=Path("BENCH_serve.json"),
+                          help="benchmark file the workload row (verdicts "
+                               "included) is merged into "
+                               "(default: BENCH_serve.json)")
     return parser
 
 
@@ -396,9 +412,89 @@ def _cmd_serve_frontier(args) -> int:
     return 0
 
 
+def _cmd_serve_workload(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.serve import WorkloadSpec, run_workload
+    from repro.serve.workload.slo import format_verdicts
+    from repro.util.tables import format_table
+
+    try:
+        spec = WorkloadSpec.from_file(args.workload)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load workload spec {args.workload}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        spec = dataclasses.replace(spec, seed=args.seed)
+    try:
+        report = run_workload(spec, workers=args.workers)
+    except ValueError as exc:
+        # Spec-shaped problems surface here too (unknown backend name,
+        # unconsumed backend options, missing store section).
+        print(f"error: cannot run workload {spec.name}: {exc}", file=sys.stderr)
+        return 2
+
+    rows = []
+    for name in report.tenant_names:
+        tenant = report.tenant_measured[name]
+        rows.append([
+            name,
+            tenant["qos"],
+            report.tenant_counts[name],
+            tenant["queries"],
+            float(tenant["qps"]),
+            tenant["p50_ms"],
+            tenant["p99_ms"],
+        ])
+    aggregate = report.aggregate_measured
+    rows.append([
+        "aggregate", "-", report.num_queries, aggregate["queries"],
+        float(aggregate["qps"]), aggregate["p50_ms"], aggregate["p99_ms"],
+    ])
+    print(
+        format_table(
+            ["tenant", "qos", "queries", "measured", "qps", "p50 ms", "p99 ms"],
+            rows,
+            title=(
+                f"serve-bench workload · {spec.name} · backend {spec.backend} "
+                f"({spec.mode} loop) · seed {spec.seed}"
+            ),
+        )
+    )
+    print(report.summary())
+    if report.verdicts:
+        print(format_verdicts(report.verdicts))
+    else:
+        print("no SLO rules in spec — nothing to gate on")
+
+    payload = {}
+    if args.bench_json.exists():
+        payload = json.loads(args.bench_json.read_text())
+    payload[f"workload:{spec.name}"] = report.bench_row()
+    args.bench_json.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"workload row merged into {args.bench_json}")
+    if args.json is not None:
+        args.json.write_text(report.to_json())
+        print(f"report written to {args.json}")
+    if args.trace is not None:
+        args.trace.write_text(report.trace_json())
+        print(f"trace written to {args.trace}")
+    if not report.slo_pass:
+        failed = sum(1 for verdict in report.verdicts if not verdict.passed)
+        print(f"error: {failed} SLO verdict(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     import json
 
+    if args.workload is not None:
+        return _cmd_serve_workload(args)
     if args.frontier:
         return _cmd_serve_frontier(args)
     if args.dim is None:

@@ -32,7 +32,14 @@ serves nearest-neighbor queries over it at scale:
   :class:`ServeReport` (throughput, latency percentiles, cache hit rate)
   as JSON and Chrome-trace events, plus the recall-vs-QPS frontier sweep
   (:class:`FrontierConfig`, :func:`sweep_frontier`) CI uses to hold the
-  ANN indexes to recorded recall floors.
+  ANN indexes to recorded recall floors,
+- :mod:`repro.serve.workload` — the multi-tenant workload harness:
+  backend plugins over the one ``search(queries, k)`` surface, seeded
+  arrival processes (Poisson, diurnal, bursts, staged ramps), open- and
+  closed-loop load, per-tenant Zipf/vocab/QoS mixes, warm-up vs
+  measurement windows, and SLO rules whose pass/fail verdicts land in
+  ``BENCH_serve.json`` and gate CI
+  (:class:`WorkloadSpec`, :func:`run_workload`).
 
 Everything modeled (query answers, batch composition, cache accounting)
 is a pure function of the seed; only measured wall-clock fields
@@ -60,6 +67,18 @@ from repro.serve.shard import (
     ShardPlan,
 )
 from repro.serve.store import EmbeddingStore
+from repro.serve.workload import (
+    SLORule,
+    SLOVerdict,
+    TenantMix,
+    TenantSpec,
+    WorkloadReport,
+    WorkloadSpec,
+    available_backends,
+    build_backend,
+    register_backend,
+    run_workload,
+)
 
 __all__ = [
     "EmbeddingStore",
@@ -89,4 +108,14 @@ __all__ = [
     "frontier_store",
     "sweep_frontier",
     "check_frontier_floors",
+    "WorkloadSpec",
+    "WorkloadReport",
+    "run_workload",
+    "build_backend",
+    "register_backend",
+    "available_backends",
+    "TenantSpec",
+    "TenantMix",
+    "SLORule",
+    "SLOVerdict",
 ]

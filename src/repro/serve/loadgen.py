@@ -16,6 +16,13 @@ wall-clock fields (throughput, p50/p95/p99 latency), and exports as JSON
 (:meth:`ServeReport.to_json`) and as Chrome-trace events
 (:meth:`ServeReport.chrome_trace_events`) alongside the trainer's
 :mod:`repro.cluster.trace` output.
+
+The single-stream assumptions this module once baked in (one tenant, one
+fixed exponential schedule) now live behind
+:mod:`repro.serve.workload` — multi-tenant mixes, richer arrival
+processes, open/closed-loop modes, and SLO verdicts — with
+:func:`generate_queries` and the arrival schedule delegating to that API
+bit-compatibly.
 """
 
 from __future__ import annotations
@@ -43,9 +50,11 @@ __all__ = [
 ]
 
 #: Domain tags keeping the load generator's RNG streams disjoint from
-#: every other consumer of the same root seed.
-_MIX_DOMAIN = 0x51524D  # "QRM" — query mix
-_ARRIVAL_DOMAIN = 0x415256  # "ARV" — arrival schedule
+#: every other consumer of the same root seed.  The query-mix ("QRM",
+#: 0x51524D) and arrival-schedule ("ARV", 0x415256) domains moved to
+#: :mod:`repro.serve.workload` (tenants.py / arrivals.py) when the
+#: single fixed stream was generalized; the delegating functions below
+#: stay bit-compatible.
 _CLUSTER_DOMAIN = 0x434C53  # "CLS" — synthetic clustered matrix
 _RECALL_DOMAIN = 0x524340  # "RC@" — frontier recall sample
 
@@ -85,21 +94,35 @@ class LoadConfig:
 
 
 def generate_queries(vocab_size: int, config: LoadConfig) -> np.ndarray:
-    """The deterministic query-id stream for ``config`` (Zipf over rows)."""
+    """The deterministic query-id stream for ``config`` (Zipf over rows).
+
+    Delegates to the workload harness' tenant machinery as the
+    degenerate single-tenant mix over the full vocabulary — the stream
+    is **bit-identical** to the pre-workload formulation (same rng
+    domain, same single ``choice`` draw), which the regression tests pin
+    against the answer hashes recorded in ``BENCH_serve.json``.
+    """
+    from repro.serve.workload.tenants import TenantMix
+
     if vocab_size <= 0:
         raise ValueError(f"vocab_size must be positive, got {vocab_size}")
-    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
-    weights = ranks ** -config.zipf_exponent
-    probabilities = weights / weights.sum()
-    rng = keyed_rng(config.seed, _MIX_DOMAIN)
-    return rng.choice(vocab_size, size=config.num_queries, p=probabilities)
+    mix = TenantMix.single(zipf_exponent=config.zipf_exponent)
+    _, ids = mix.query_stream(vocab_size, config.num_queries, config.seed)
+    return ids
 
 
 def _arrival_times_us(config: LoadConfig) -> np.ndarray:
-    """Modeled arrival timestamps (microseconds), fixed by the seed."""
-    rng = keyed_rng(config.seed, _ARRIVAL_DOMAIN)
-    gaps = rng.exponential(1.0 / config.arrival_qps, size=config.num_queries)
-    return np.cumsum(gaps) * _US
+    """Modeled arrival timestamps (microseconds), fixed by the seed.
+
+    The fixed exponential schedule is now one arrival process among
+    several (:mod:`repro.serve.workload.arrivals`); the Poisson process
+    reproduces the legacy stream bit-for-bit for the same seed.
+    """
+    from repro.serve.workload.arrivals import PoissonArrivals, arrival_times_us
+
+    return arrival_times_us(
+        PoissonArrivals(config.arrival_qps), config.num_queries, config.seed
+    )
 
 
 @dataclass

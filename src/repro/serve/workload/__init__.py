@@ -1,0 +1,82 @@
+"""Multi-tenant workload harness with SLO verdicts.
+
+The load-generation subsystem grown out of ``repro.serve.loadgen``'s
+single Zipf stream (the llm-load-test shape: plugin backends, simulated
+users, SLO-oriented reporting):
+
+- :mod:`~repro.serve.workload.plugins` — named backend builders over the
+  one ``search(queries, k)`` surface: ``exact``, ``lsh``, ``ivf``,
+  ``ivf-int8``, ``ivf-pq``, ``sharded``; :func:`register_backend` adds
+  more,
+- :mod:`~repro.serve.workload.arrivals` — seed-deterministic arrival
+  processes (Poisson, diurnal sinusoid, burst trains, staged ramps) and
+  closed-loop concurrency :class:`RampStage` ramps,
+- :mod:`~repro.serve.workload.tenants` — weighted tenant mixes with
+  per-tenant Zipf skew, vocabulary subsets, and QoS classes,
+- :mod:`~repro.serve.workload.slo` — SLO rules (``p99 < X ms at Y
+  QPS``, per-tenant and aggregate) evaluating to pass/fail verdicts,
+- :mod:`~repro.serve.workload.spec` — the JSON workload document
+  (:class:`WorkloadSpec`) the CLI consumes,
+- :mod:`~repro.serve.workload.runner` — :func:`run_workload`, driving a
+  backend in open- or closed-loop mode with warm-up vs measurement
+  windows and emitting a :class:`WorkloadReport`.
+
+The determinism contract is the serving tier's: everything modeled
+(query stream, batch composition, cache accounting, answers) is a pure
+function of the spec and bit-stable across executor widths; only
+measured wall-clock stats — what SLO verdicts judge — vary run to run.
+"""
+
+from repro.serve.workload.arrivals import (
+    ArrivalProcess,
+    BurstArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    RampStage,
+    Stage,
+    StagedArrivals,
+    arrival_times_us,
+    arrivals_from_dict,
+)
+from repro.serve.workload.plugins import (
+    available_backends,
+    build_backend,
+    register_backend,
+)
+from repro.serve.workload.runner import WorkloadReport, run_workload
+from repro.serve.workload.slo import (
+    SLORule,
+    SLOVerdict,
+    all_pass,
+    evaluate_slos,
+    format_verdicts,
+)
+from repro.serve.workload.spec import StoreSpec, WorkloadSpec
+from repro.serve.workload.tenants import QOS_CLASSES, TenantMix, TenantSpec
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "BurstArrivals",
+    "StagedArrivals",
+    "Stage",
+    "RampStage",
+    "arrival_times_us",
+    "arrivals_from_dict",
+    "register_backend",
+    "available_backends",
+    "build_backend",
+    "QOS_CLASSES",
+    "TenantSpec",
+    "TenantMix",
+    "SLORule",
+    "SLOVerdict",
+    "evaluate_slos",
+    "all_pass",
+    "format_verdicts",
+    "StoreSpec",
+    "WorkloadSpec",
+    "WorkloadReport",
+    "run_workload",
+]

@@ -36,6 +36,7 @@ def test_examples_exist():
         "fault_injection.py",
         "serve_embeddings.py",
         "sharded_serving.py",
+        "workload_slo.py",
     } <= names
 
 
@@ -72,6 +73,13 @@ def test_serve_embeddings_example():
     assert "store round-trip ok" in out
     assert "recall@10" in out
     assert "modeled results identical across runs and worker counts" in out
+
+
+def test_workload_slo_example():
+    out = run_example("workload_slo.py")
+    assert "SLOs 4/4 pass" in out
+    assert "SLO gate: pass" in out
+    assert "modeled accounting bit-identical at workers=4" in out
 
 
 @pytest.mark.slow
