@@ -28,9 +28,12 @@ seed through ``derive_seed``/``keyed_rng`` key tuples.
   partially-applied writes.
 
 **Gluon sync protocol** — the static counterpart of
-``GluonSyncChecker``, scoped to *clients* of the protocol (the protocol
-engine ``repro/gluon/sync.py`` and the analysis package itself are
-exempt).
+``GluonSyncChecker``, scoped to *clients* of the protocol.  The protocol
+engines themselves are exempt: ``repro/gluon/sync.py`` (the BSP fold)
+and ``repro/dgraph/async_engine.py`` (the bounded-staleness fold, whose
+capture-and-rebase discipline legally reads and writes mirrors outside
+``set_many`` flagging — its staleness is bounded dynamically by
+``GluonSyncChecker.note_async_step``), plus the analysis package.
 
 - ``REPRO121`` *gluon-unflagged-write*: a write to a ``FieldSync``
   mirror (``field.arrays[...]``) in barrier-reaching code with no
@@ -89,7 +92,12 @@ def _is_analysis_module(path: str) -> bool:
 
 
 def _is_sync_engine(path: str) -> bool:
-    return _posix(path).endswith("/gluon/sync.py")
+    # Both fold engines implement the protocol REPRO121/122 police its
+    # *clients* for: the BSP fold, and the async engine whose bounded-
+    # staleness mirror reads/writes are legal by construction (checked
+    # dynamically via GluonSyncChecker.note_async_step, not statically).
+    p = _posix(path)
+    return p.endswith("/gluon/sync.py") or p.endswith("/dgraph/async_engine.py")
 
 
 # ----------------------------------------------------------------------

@@ -331,11 +331,96 @@ class GluonSyncChecker:
         # Stale rows per (field, host): master changed, no broadcast
         # received by this host since.
         self._stale: dict[tuple[str, int], np.ndarray] = {}
+        # Bounded-staleness audit (async engine): the next round each
+        # (field, host) clock may start, and the fold frontier per field.
+        self._async_clock: dict[tuple[str, int], int] = {}
+        self._async_folds: dict[str, int] = {}
 
     def reset_state(self) -> None:
         """Forget residual/stale tracking (e.g. after a checkpoint load)."""
         self._residual.clear()
         self._stale.clear()
+        self._async_clock.clear()
+        self._async_folds.clear()
+
+    # -- bounded-staleness hooks (async engine) -------------------------
+    def note_async_step(
+        self,
+        field_name: str,
+        host: int,
+        round_index: int,
+        folds_done: int,
+        staleness: int,
+    ) -> None:
+        """A host is starting ``round_index`` with ``folds_done`` folds behind it.
+
+        Asserts the SSP contract: a host may lead the sync frontier by at
+        most ``staleness`` rounds, and its own per-(field, host) clock only
+        ever moves forward.  Called by the async engine before every step;
+        any violation is a scheduler bug, never legal behavior.
+        """
+        lead = round_index - folds_done
+        if lead > staleness:
+            self.findings.append(
+                SanitizeFinding(
+                    self.name,
+                    "staleness-exceeded",
+                    f"field {field_name!r}: host {host} starts round "
+                    f"{round_index} with only {folds_done} folds done — lead "
+                    f"{lead} exceeds the staleness bound {staleness}",
+                    {
+                        "field": field_name,
+                        "host": host,
+                        "round": round_index,
+                        "folds_done": folds_done,
+                        "staleness": staleness,
+                    },
+                )
+            )
+        expected = self._async_clock.get((field_name, host), 0)
+        if round_index < expected or folds_done > round_index:
+            self.findings.append(
+                SanitizeFinding(
+                    self.name,
+                    "clock-skew",
+                    f"field {field_name!r}: host {host} starts round "
+                    f"{round_index} out of order (next expected "
+                    f"{expected}, folds done {folds_done})",
+                    {
+                        "field": field_name,
+                        "host": host,
+                        "round": round_index,
+                        "expected": expected,
+                        "folds_done": folds_done,
+                    },
+                )
+            )
+        self._async_clock[(field_name, host)] = round_index + 1
+
+    def note_async_fold(self, field_name: str, round_index: int) -> None:
+        """The sync frontier folded ``round_index`` for ``field_name``.
+
+        Folds must advance one round at a time (the frontier is the min of
+        the host clocks, which only moves in unit steps).
+        """
+        # The first fold observed seeds the ledger (a resumed run's
+        # frontier starts wherever the checkpoint left it).
+        expected = self._async_folds.get(field_name, round_index)
+        if round_index != expected:
+            self.findings.append(
+                SanitizeFinding(
+                    self.name,
+                    "fold-skipped",
+                    f"field {field_name!r}: fold of round {round_index} "
+                    f"arrived out of order (expected {expected})",
+                    {
+                        "field": field_name,
+                        "round": round_index,
+                        "expected": expected,
+                    },
+                )
+            )
+        self._async_folds[field_name] = round_index + 1
 
     # -- sync_replicated hooks ------------------------------------------
     def before_replicated(self, field_sync: Any, bounds: np.ndarray, updated: Sequence[Any]) -> None:

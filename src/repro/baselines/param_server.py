@@ -26,6 +26,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.dgraph.engine import compensate_delta
 from repro.gluon.comm import ID_BYTES, VALUE_BYTES, SimulatedNetwork
 from repro.text.corpus import Corpus
 from repro.text.negative_sampling import UnigramTable
@@ -87,12 +88,8 @@ class AsyncParameterServerSGD:
     ) -> None:
         """Land one (possibly stale) push, with optional delay compensation."""
         lam = self.delay_compensation
-        if lam > 0:
-            scale = lam / max(lr, 1e-12)
-            drift_e = self.model.embedding[ids] - base_emb
-            drift_t = self.model.training[ids] - base_trn
-            d_emb = d_emb - scale * d_emb * d_emb * drift_e
-            d_trn = d_trn - scale * d_trn * d_trn * drift_t
+        d_emb = compensate_delta(d_emb, self.model.embedding[ids] - base_emb, lam, lr)
+        d_trn = compensate_delta(d_trn, self.model.training[ids] - base_trn, lam, lr)
         self.model.embedding[ids] += d_emb
         self.model.training[ids] += d_trn
 

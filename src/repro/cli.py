@@ -87,6 +87,41 @@ def build_parser() -> argparse.ArgumentParser:
             "REPRO_SANITIZE environment variable."
         ),
     )
+    train.add_argument(
+        "--engine",
+        default="bsp",
+        choices=["bsp", "async"],
+        help=(
+            "execution engine for multi-host training: 'bsp' (every round "
+            "a global barrier) or 'async' (bounded-staleness SSP; hosts "
+            "run ahead up to --staleness rounds). async with --staleness 0 "
+            "is bit-identical to bsp."
+        ),
+    )
+    train.add_argument(
+        "--staleness",
+        type=int,
+        default=0,
+        metavar="S",
+        help="staleness bound for --engine async (rounds a host may lead by)",
+    )
+    train.add_argument(
+        "--delay-compensation",
+        type=float,
+        default=0.0,
+        metavar="LAMBDA",
+        help=(
+            "delay-compensation strength for --engine async: stale "
+            "contributions are corrected for canonical drift at fold time "
+            "(Zheng et al.; 0 disables)"
+        ),
+    )
+    train.add_argument(
+        "--trace",
+        type=Path,
+        metavar="FILE",
+        help="write Chrome-trace events of the modeled timeline (chrome://tracing)",
+    )
     train.add_argument("--save", type=Path, help="write the trained model (.npz)")
 
     neighbors = sub.add_parser("neighbors", help="nearest-neighbor queries")
@@ -245,6 +280,15 @@ def _cmd_train(args) -> int:
     if args.sanitize and args.hosts == 1:
         print("error: --sanitize requires --hosts > 1", file=sys.stderr)
         return 2
+    if args.hosts == 1 and (args.engine != "bsp" or args.trace is not None):
+        print("error: --engine/--trace require --hosts > 1", file=sys.stderr)
+        return 2
+    if args.engine == "bsp" and (args.staleness or args.delay_compensation):
+        print(
+            "error: --staleness/--delay-compensation require --engine async",
+            file=sys.stderr,
+        )
+        return 2
     print(f"training on {corpus} with {params}")
     if args.hosts == 1:
         model = SharedMemoryWord2Vec(
@@ -262,6 +306,9 @@ def _cmd_train(args) -> int:
             faults=fault_config,
             workers=args.workers,
             sanitize=True if args.sanitize else None,
+            engine=args.engine,
+            staleness=args.staleness,
+            delay_compensation=args.delay_compensation,
         )
         result = trainer.train()
         model = result.model
@@ -271,11 +318,34 @@ def _cmd_train(args) -> int:
             f"(compute {report.breakdown.compute_s:.2f}s, "
             f"comm {report.breakdown.communication_s:.2f}s, "
             f"inspect {report.breakdown.inspection_s:.2f}s, "
-            f"recovery {report.breakdown.recovery_s:.2f}s); "
+            f"recovery {report.breakdown.recovery_s:.2f}s, "
+            f"wait {report.breakdown.wait_s:.2f}s); "
             f"{report.comm_bytes:,} bytes in {report.comm_messages:,} messages"
         )
         if report.faults is not None:
             print(f"faults: {report.faults.summary()}")
+        if args.trace is not None:
+            import json as _json
+
+            from repro.cluster.trace import (
+                build_async_chrome_trace,
+                build_chrome_trace,
+            )
+
+            if trainer.async_timeline is not None:
+                events = build_async_chrome_trace(
+                    trainer.async_timeline,
+                    trainer.network.phase_records,
+                    trainer.network_model,
+                )
+            else:
+                events = build_chrome_trace(
+                    trainer.metrics,
+                    trainer.network.phase_records,
+                    trainer.network_model,
+                )
+            args.trace.write_text(_json.dumps({"traceEvents": events}))
+            print(f"trace written to {args.trace}")
     if questions is not None:
         print(evaluate_analogies(model, corpus.vocabulary, questions))
     if args.save is not None:

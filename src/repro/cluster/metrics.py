@@ -13,6 +13,15 @@ __all__ = ["TimeBreakdown", "ClusterMetrics"]
 class TimeBreakdown:
     """Modeled wall-clock split the way Figure 9 reports it.
 
+    ``compute_s`` is *busy* compute — the mean over hosts, summed over
+    rounds — and ``wait_s`` is the slack between that and the execution's
+    makespan: under BSP it is exactly the time hosts idle at round
+    barriers waiting for the slowest host (straggler time), under the
+    async engine it is whatever blocking the staleness bound still forces.
+    ``compute_s + wait_s`` therefore equals the compute-phase critical
+    path (for BSP: the sum over rounds of the per-round max), keeping
+    ``total_s`` identical to the pre-wait-bucket breakdown.
+
     ``recovery_s`` is the time that exists only because faults happened
     (crash detection, checkpoint restore, chunk replay, retransmission
     backoff); it is 0.0 for fault-free runs, keeping their totals
@@ -23,10 +32,17 @@ class TimeBreakdown:
     communication_s: float = 0.0
     inspection_s: float = 0.0
     recovery_s: float = 0.0
+    wait_s: float = 0.0
 
     @property
     def total_s(self) -> float:
-        return self.compute_s + self.communication_s + self.inspection_s + self.recovery_s
+        return (
+            self.compute_s
+            + self.communication_s
+            + self.inspection_s
+            + self.recovery_s
+            + self.wait_s
+        )
 
     def __add__(self, other: "TimeBreakdown") -> "TimeBreakdown":
         return TimeBreakdown(
@@ -34,6 +50,7 @@ class TimeBreakdown:
             communication_s=self.communication_s + other.communication_s,
             inspection_s=self.inspection_s + other.inspection_s,
             recovery_s=self.recovery_s + other.recovery_s,
+            wait_s=self.wait_s + other.wait_s,
         )
 
 
@@ -142,6 +159,17 @@ class ClusterMetrics:
     def modeled_compute_s(self) -> float:
         """Sum over rounds of the slowest host's compute time."""
         return float(sum(r.max() for r in self._rounds))
+
+    def modeled_busy_s(self) -> float:
+        """Sum over rounds of the *mean* per-host compute time.
+
+        The busy fraction of the compute critical path: what hosts spend
+        actually computing rather than idling at the round barrier.  The
+        difference ``modeled_compute_s() - modeled_busy_s()`` is the BSP
+        barrier wait (straggler slack) the report's ``wait_s`` bucket
+        carries.
+        """
+        return float(sum(r.mean() for r in self._rounds))
 
     def modeled_inspection_s(self) -> float:
         return float(sum(r.max() for r in self._inspection_rounds))

@@ -50,7 +50,16 @@ class DistributedRunReport:
         pairs_processed: int = 0,
         peak_replica_rows: int = 0,
         fault_report: FaultReport | None = None,
+        makespan_s: float | None = None,
     ) -> "DistributedRunReport":
+        """``makespan_s`` overrides the compute-phase critical path.
+
+        ``None`` (BSP) uses the barrier makespan — the sum over rounds of
+        the slowest host — which is exact for a lock-step loop.  The async
+        engine passes its replayed event-order makespan instead, so the
+        slack bought by bounded staleness shows up as a smaller ``wait_s``
+        rather than being invisible inside per-round maxima.
+        """
         # Restore traffic (phases named "recovery:*") is a fault cost, not
         # steady-state communication — price it into the recovery bucket so
         # a fault-free run's communication_s is unchanged by this split.
@@ -62,11 +71,17 @@ class DistributedRunReport:
         recovery_s = metrics.modeled_recovery_s() + model.total_time(restore)
         if fault_report is not None:
             recovery_s += fault_report.backoff_s
+        # Split the compute critical path into busy time (mean over hosts)
+        # and barrier/staleness wait, so straggler slack is attributable.
+        busy_s = metrics.modeled_busy_s()
+        if makespan_s is None:
+            makespan_s = metrics.modeled_compute_s()
         breakdown = TimeBreakdown(
-            compute_s=metrics.modeled_compute_s(),
+            compute_s=busy_s,
             communication_s=comm_s,
             inspection_s=metrics.modeled_inspection_s(),
             recovery_s=recovery_s,
+            wait_s=max(0.0, makespan_s - busy_s),
         )
         # Group phase bytes by kind (reduce/broadcast/request), dropping the
         # per-field suffix for readability.

@@ -15,9 +15,12 @@ from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.network import NetworkModel
 from repro.gluon.comm import PhaseRecord
 
-__all__ = ["build_chrome_trace", "trace_json"]
+__all__ = ["build_chrome_trace", "build_async_chrome_trace", "trace_json"]
 
 _US = 1e6  # trace timestamps are microseconds
+
+#: Below this, a slack interval is measurement noise, not a wait slice.
+_WAIT_EPS_S = 1e-12
 
 
 def build_chrome_trace(
@@ -77,6 +80,26 @@ def build_chrome_trace(
         barrier = start + float(compute.max()) + (
             float(inspections[round_index].max()) if inspections else 0.0
         )
+        # Barrier wait: hosts that finished early idle until the slowest
+        # host reaches the barrier (the breakdown's ``wait_s`` bucket,
+        # made visible per host per round).
+        for host in range(metrics.num_hosts):
+            busy_end = start + float(compute[host]) + (
+                float(inspections[round_index][host]) if inspections else 0.0
+            )
+            slack = barrier - busy_end
+            if slack > _WAIT_EPS_S:
+                events.append(
+                    {
+                        "name": f"wait r{round_index}",
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": host,
+                        "ts": busy_end * _US,
+                        "dur": slack * _US,
+                        "cat": "wait",
+                    }
+                )
         # Fault recovery stalls the barrier: crashed hosts restore and
         # replay while survivors wait, so the round's communication starts
         # after the slowest recovery.
@@ -139,6 +162,117 @@ def build_chrome_trace(
             "ph": "M",
             "pid": 0,
             "tid": metrics.num_hosts,
+            "args": {"name": "network"},
+        }
+    )
+    return events
+
+
+def build_async_chrome_trace(
+    timeline,
+    phase_records: list[PhaseRecord],
+    network_model: NetworkModel,
+) -> list[dict]:
+    """Trace events for an async (SSP) run.
+
+    ``timeline`` is the :class:`~repro.dgraph.async_engine.AsyncTimeline`
+    a trained ``GraphWord2Vec(engine="async")`` exposes: per-step
+    ``(host, round, start_s, dur_s)`` intervals from the measured replay,
+    fold times with their phase-record ranges, and recovery spans.
+    Unlike BSP, compute slices of different rounds overlap across hosts;
+    the slack a host spends blocked on the staleness bound appears as
+    ``wait`` slices in the gaps between its consecutive steps.
+    """
+    events: list[dict] = []
+    records = list(phase_records)
+
+    # Per-host step slices, plus wait slices for inter-step slack.
+    last_end: dict[int, float] = {}
+    for host, round_index, start_s, dur_s in timeline.steps:
+        prev = last_end.get(host, 0.0)
+        slack = start_s - prev
+        if slack > _WAIT_EPS_S:
+            events.append(
+                {
+                    "name": f"wait (staleness bound) before r{round_index}",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": host,
+                    "ts": prev * _US,
+                    "dur": slack * _US,
+                    "cat": "wait",
+                }
+            )
+        if dur_s > 0:
+            events.append(
+                {
+                    "name": f"compute r{round_index}",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": host,
+                    "ts": start_s * _US,
+                    "dur": dur_s * _US,
+                    "cat": "compute",
+                }
+            )
+        last_end[host] = max(prev, start_s + dur_s)
+
+    for host, round_index, start_s, dur_s in timeline.recoveries:
+        if dur_s > 0:
+            events.append(
+                {
+                    "name": f"recover r{round_index}",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": host,
+                    "ts": start_s * _US,
+                    "dur": dur_s * _US,
+                    "cat": "recovery",
+                }
+            )
+
+    # The network row: each fold's phase records play back-to-back
+    # starting no earlier than the fold time (folds can outpace the
+    # modeled network, which then queues).
+    clock = 0.0
+    for round_index, fold_s, rec_lo, rec_hi in timeline.folds:
+        clock = max(clock, fold_s)
+        for record in records[rec_lo:rec_hi]:
+            duration = network_model.phase_time(record)
+            if duration > 0:
+                events.append(
+                    {
+                        "name": f"{record.name} (fold r{round_index})",
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": timeline.num_hosts,
+                        "ts": clock * _US,
+                        "dur": duration * _US,
+                        "cat": "communication",
+                        "args": {
+                            "bytes": int(record.total_bytes),
+                            "messages": int(record.messages),
+                        },
+                    }
+                )
+            clock += duration
+
+    for host in range(timeline.num_hosts):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": host,
+                "args": {"name": f"host {host}"},
+            }
+        )
+    events.append(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": timeline.num_hosts,
             "args": {"name": "network"},
         }
     )

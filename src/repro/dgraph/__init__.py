@@ -1,4 +1,4 @@
-"""D-Galois-style distributed graphs and BSP execution.
+"""D-Galois-style distributed graphs, BSP and bounded-staleness execution.
 
 GraphWord2Vec is implemented on a distributed graph-analytics framework; to
 make the substrate credible independently of Word2Vec, this package provides
@@ -6,10 +6,35 @@ CSR graphs, distributed graphs over the :mod:`repro.gluon` partitioner, a
 bulk-synchronous execution driver, and the classic applications the paper's
 background section describes (sssp via Bellman-Ford and delta-stepping,
 PageRank, connected components), all synchronized through Gluon.
+
+Execution engines live behind two seams (:mod:`repro.dgraph.engine`): the
+:class:`Engine` protocol for value-mode drivers (:class:`BSPEngine`), and
+:class:`TrainingEngine` for the trainer's round loop —
+:class:`BSPTrainingEngine` (lock-step barriers) and
+:class:`~repro.dgraph.async_engine.SSPTrainingEngine` (stale-synchronous
+parallel with a bounded staleness window).
 """
 
 from repro.dgraph.bsp import BSPEngine, RecoveryPolicy, RoundStats
 from repro.dgraph.dist_graph import DistGraph
+from repro.dgraph.engine import (
+    BSPTrainingEngine,
+    Engine,
+    TrainingEngine,
+    compensate_delta,
+    resolve_training_engine,
+)
 from repro.dgraph.graph import Graph
 
-__all__ = ["Graph", "DistGraph", "BSPEngine", "RoundStats", "RecoveryPolicy"]
+__all__ = [
+    "Graph",
+    "DistGraph",
+    "BSPEngine",
+    "RoundStats",
+    "RecoveryPolicy",
+    "Engine",
+    "TrainingEngine",
+    "BSPTrainingEngine",
+    "resolve_training_engine",
+    "compensate_delta",
+]

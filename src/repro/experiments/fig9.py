@@ -36,10 +36,11 @@ class BreakdownPoint:
     communication_s: float
     inspection_s: float
     comm_bytes: int
+    wait_s: float = 0.0
 
     @property
     def total_s(self) -> float:
-        return self.compute_s + self.communication_s + self.inspection_s
+        return self.compute_s + self.communication_s + self.inspection_s + self.wait_s
 
 
 def run(
@@ -70,6 +71,7 @@ def run(
                         communication_s=report.breakdown.communication_s * scale,
                         inspection_s=report.breakdown.inspection_s * scale,
                         comm_bytes=int(report.comm_bytes * scale),
+                        wait_s=report.breakdown.wait_s * scale,
                     )
                 )
     return points
@@ -84,13 +86,14 @@ def format_result(points: list[BreakdownPoint]) -> str:
             f"{p.compute_s:.1f}",
             f"{p.communication_s:.1f}",
             f"{p.inspection_s:.1f}",
+            f"{p.wait_s:.1f}",
             f"{p.total_s:.1f}",
             format_bytes(p.comm_bytes),
         ]
         for p in points
     ]
     return format_table(
-        ["Dataset", "Plan", "Hosts(S)", "Compute (s)", "Comm (s)", "Inspect (s)", "Total (s)", "Comm Volume"],
+        ["Dataset", "Plan", "Hosts(S)", "Compute (s)", "Comm (s)", "Inspect (s)", "Wait (s)", "Total (s)", "Comm Volume"],
         rows,
         title=(
             "Figure 9: Breakdown of modeled 16-epoch execution time into "

@@ -66,6 +66,7 @@ from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.network import NetworkModel, SCALED_DEFAULT
 from repro.cluster.simulator import DistributedRunReport
 from repro.core.combiners import GradientCombiner, get_combiner
+from repro.dgraph.engine import TrainingEngine, resolve_training_engine
 from repro.galois.do_all import (
     DoAllExecutor,
     SerialExecutor,
@@ -130,6 +131,9 @@ class GraphWord2Vec:
         executor: DoAllExecutor | None = None,
         workers: int | None = None,
         sanitize: bool | None = None,
+        engine: str | TrainingEngine = "bsp",
+        staleness: int = 0,
+        delay_compensation: float = 0.0,
     ):
         """``executor``/``workers`` choose how the per-host compute (and
         PullModel inspection) phases execute: pass a
@@ -194,6 +198,13 @@ class GraphWord2Vec:
             get_combiner(combiner) if isinstance(combiner, str) else combiner
         )
         self.plan = get_plan(plan) if isinstance(plan, str) else plan
+        # The execution engine owns the round loop's clock model: "bsp"
+        # (every round a global barrier) or "async" (bounded-staleness
+        # SSP; see repro.dgraph.async_engine).  Trainer code talks to the
+        # TrainingEngine seam only.
+        self.engine = resolve_training_engine(
+            engine, staleness=staleness, delay_compensation=delay_compensation
+        )
         self.network_model = network_model
         self.compute_loss = compute_loss
         self.host_speed_factors = (
@@ -312,6 +323,15 @@ class GraphWord2Vec:
         # and the training pairs those rounds processed.
         self._completed_rounds = 0
         self._partial_pairs = 0
+        # Async-engine state (unused under BSP): the canonical value store
+        # (the fold frontier's ground truth), bounded-staleness bookkeeping
+        # (pending-stale rows, next-round access sets), the replayed
+        # event-order makespan of the spans trained so far, and the
+        # step/fold timeline the Chrome trace renders.
+        self._canonical: dict[str, np.ndarray] | None = None
+        self._async_state: dict | None = None
+        self._async_makespan_s = 0.0
+        self.async_timeline = None
 
     # ------------------------------------------------------------------
     # Deterministic work generation
@@ -426,28 +446,9 @@ class GraphWord2Vec:
         params = self.params
         stop = params.epochs if until_epoch is None else min(until_epoch, params.epochs)
 
-        for epoch in range(self._completed_epochs, stop):
-            lr = params.learning_rate_for_epoch(epoch)
-            paused = False
-            for s in range(self._completed_rounds, self.sync_rounds):
-                if (
-                    until_round is not None
-                    and epoch * self.sync_rounds + s >= until_round
-                ):
-                    paused = True
-                    break
-                self._partial_pairs += self._run_round(epoch, s, lr)
-                self._completed_rounds = s + 1
-            if paused:
-                break
-
-            self._pairs_total += self._partial_pairs
-            self._epoch_pairs.append(self._partial_pairs)
-            self._partial_pairs = 0
-            self._completed_rounds = 0
-            self._completed_epochs = epoch + 1
-            if epoch_callback is not None:
-                epoch_callback(epoch, self.canonical_model())
+        makespan = self.engine.run(self, stop, until_round, epoch_callback)
+        if makespan is not None:
+            self._async_makespan_s += makespan
 
         if self.fault_report is not None:
             self.fault_report.absorb_injector(self._fault_injector)
@@ -463,12 +464,34 @@ class GraphWord2Vec:
             pairs_processed=self._pairs_total + self._partial_pairs,
             peak_replica_rows=self._peak_access_rows,
             fault_report=self.fault_report,
+            makespan_s=(
+                self._async_makespan_s if self.engine.name != "bsp" else None
+            ),
         )
         return DistributedTrainResult(
             model=self.canonical_model(),
             report=report,
             epoch_pairs=list(self._epoch_pairs),
         )
+
+    def _roll_epoch(
+        self,
+        epoch: int,
+        epoch_callback: Callable[[int, Word2VecModel], None] | None,
+    ) -> None:
+        """Close out ``epoch``: pair accounting, progress, user callback.
+
+        Called by the engines at every epoch boundary (the last round of
+        the epoch has folded), so callbacks observe the same canonical
+        states under BSP and async execution.
+        """
+        self._pairs_total += self._partial_pairs
+        self._epoch_pairs.append(self._partial_pairs)
+        self._partial_pairs = 0
+        self._completed_rounds = 0
+        self._completed_epochs = epoch + 1
+        if epoch_callback is not None:
+            epoch_callback(epoch, self.canonical_model())
 
     def _run_round(self, epoch: int, s: int, lr: float) -> int:
         """Execute one synchronization round; returns pairs processed."""
@@ -751,11 +774,21 @@ class GraphWord2Vec:
     # ------------------------------------------------------------------
     def _config_fingerprint(self) -> str:
         """Identifies the training configuration a checkpoint belongs to."""
-        return (
+        base = (
             f"{self.params!r}|hosts={self.num_hosts}|S={self.sync_rounds}"
             f"|combiner={self.combiner.name}|plan={self.plan.name}"
             f"|seed={self._seeds.seed}|corpus_tokens={self.corpus.num_tokens}"
         )
+        if self.engine.staleness or self.engine.delay_compensation:
+            # SSP(s=0, λ=0) is bit-identical to BSP — its checkpoints are
+            # interchangeable with BSP's in both directions.  Any s>0 (or
+            # compensated) run replays a different interleaving, so its
+            # checkpoints are its own.
+            base += (
+                f"|engine={self.engine.name}|s={self.engine.staleness}"
+                f"|lam={self.engine.delay_compensation}"
+            )
+        return base
 
     def save_checkpoint(self) -> bytes:
         """Serialize the canonical model and training progress.
@@ -807,6 +840,10 @@ class GraphWord2Vec:
         self._epoch_pairs = list(state.epoch_pairs)
         self._work_cache.clear()
         self._epoch_chunks_cache.clear()
+        # Async state is rebuilt lazily from the restored replicas: every
+        # replica row is canonical again, nothing is pending-stale.
+        self._canonical = None
+        self._async_state = None
         if self.sync_checker is not None:
             # Replicas were rebuilt from canonical values: all prior
             # stale/residual tracking is void.
@@ -818,6 +855,13 @@ class GraphWord2Vec:
     # ------------------------------------------------------------------
     def canonical_model(self) -> Word2VecModel:
         """Assemble the canonical model from each host's master block."""
+        if self._canonical is not None:
+            # Async engine: the canonical store *is* the fold frontier's
+            # ground truth (master replica rows may carry unfolded work).
+            return Word2VecModel(
+                self._canonical["embedding"].copy(),
+                self._canonical["training"].copy(),
+            )
         emb = np.empty_like(self._fields["embedding"].arrays[0])
         trn = np.empty_like(self._fields["training"].arrays[0])
         for host in range(self.num_hosts):

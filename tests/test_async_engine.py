@@ -1,0 +1,354 @@
+"""Property battery for the bounded-staleness (SSP) async engine.
+
+The contract under test (see ``docs/internals.md``):
+
+- **Degradation**: ``SSP(s=0)`` is *bit-identical* to the BSP engine —
+  same model bits, same bytes per phase, same message counts, same fault
+  counters — across every communication plan, fault schedule, and
+  executor width.
+- **Determinism**: ``SSP(s>0)`` is a pure function of the seed (the
+  interleaving is recorded and replayed), so same-seed runs agree
+  bitwise and checkpoints resume exactly.
+- **Bound**: no host ever starts a round more than ``s`` folds ahead of
+  the sync frontier; ``GluonSyncChecker.note_async_step`` turns any
+  violation into a sanitizer finding.
+"""
+
+from hypothesis import given, settings, strategies as st
+import numpy as np
+import pytest
+
+from repro.analysis.runtime import GluonSyncChecker
+from repro.cluster.faults import FaultConfig
+from repro.dgraph import BSPEngine, Engine
+from repro.dgraph.async_engine import SSPTrainingEngine, build_interleaving
+from repro.dgraph.engine import (
+    BSPTrainingEngine,
+    compensate_delta,
+    resolve_training_engine,
+)
+from repro.text.synthetic import SyntheticCorpusSpec, generate_corpus
+from repro.w2v.distributed import GraphWord2Vec
+from repro.w2v.params import Word2VecParams
+
+SPEC = SyntheticCorpusSpec(
+    num_tokens=1500, pairs_per_family=3, filler_vocab=60, questions_per_family=3
+)
+PARAMS = Word2VecParams(dim=8, epochs=1, negatives=3, window=3, subsample_threshold=1e-2)
+HOSTS = 3
+SEED = 5
+
+#: The fault schedules the degradation property is pinned against
+#: (schedules are generated from the trainer's seed tree, so a key here
+#: names one exact schedule).
+FAULTS = {
+    "none": None,
+    "transient": FaultConfig(drop_prob=0.05, corrupt_prob=0.02, straggler_prob=0.3),
+    "crash": FaultConfig(crash_prob=0.1, max_crashes=2, straggler_prob=0.2),
+}
+
+_corpus = None
+_bsp_cache: dict[tuple, object] = {}
+
+
+def corpus():
+    global _corpus
+    if _corpus is None:
+        _corpus = generate_corpus(SPEC, seed=1)[0]
+    return _corpus
+
+
+def make(plan="opt", fault_key="none", workers=None, **kw):
+    return GraphWord2Vec(
+        corpus(),
+        PARAMS,
+        num_hosts=HOSTS,
+        seed=SEED,
+        plan=plan,
+        faults=FAULTS[fault_key],
+        workers=workers,
+        **kw,
+    )
+
+
+def fingerprint(result):
+    """Everything the degradation property compares bitwise.
+
+    Measured timing floats are deliberately excluded — they vary run to
+    run; every *modeled* quantity (values, bytes, messages, counters)
+    must agree exactly.
+    """
+    report = result.report
+    faults = report.faults
+    return (
+        result.model,
+        report.comm_bytes,
+        report.comm_messages,
+        dict(report.bytes_by_phase),
+        report.pairs_processed,
+        result.epoch_pairs,
+        None
+        if faults is None
+        else (
+            faults.crashes,
+            faults.straggler_rounds,
+            faults.recovery_bytes,
+            faults.checkpoint_restore_bytes,
+            faults.resent_bytes,
+            faults.nack_bytes,
+        ),
+    )
+
+
+def bsp_fingerprint(plan, fault_key):
+    key = (plan, fault_key)
+    if key not in _bsp_cache:
+        _bsp_cache[key] = fingerprint(make(plan=plan, fault_key=fault_key).train())
+    return _bsp_cache[key]
+
+
+# ----------------------------------------------------------------------
+# The engine seam
+# ----------------------------------------------------------------------
+class TestEngineSeam:
+    def test_bsp_engine_satisfies_protocol(self):
+        assert isinstance(BSPEngine(num_hosts=2), Engine)
+
+    def test_resolution(self):
+        assert isinstance(resolve_training_engine("bsp"), BSPTrainingEngine)
+        eng = resolve_training_engine("async", staleness=3, delay_compensation=0.5)
+        assert isinstance(eng, SSPTrainingEngine)
+        assert eng.staleness == 3
+        assert eng.delay_compensation == 0.5
+        # "ssp" is an alias; instances pass through.
+        assert isinstance(resolve_training_engine("ssp"), SSPTrainingEngine)
+        assert resolve_training_engine(eng) is eng
+
+    def test_bsp_rejects_async_knobs(self):
+        with pytest.raises(ValueError, match="staleness"):
+            resolve_training_engine("bsp", staleness=1)
+        with pytest.raises(ValueError, match="delay_compensation"):
+            resolve_training_engine("bsp", delay_compensation=0.1)
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_training_engine("bulk")
+
+    def test_compensate_delta(self):
+        delta = np.array([[0.5, -0.25]])
+        drift = np.array([[0.1, 0.2]])
+        lam, lr = 0.4, 0.05
+        out = compensate_delta(delta, drift, lam, lr)
+        expected = delta - (lam / lr) * delta * delta * drift
+        np.testing.assert_array_equal(out, expected)
+        # λ=0 is the exact identity (bit-parity path).
+        assert compensate_delta(delta, drift, 0.0, lr) is delta
+
+
+# ----------------------------------------------------------------------
+# The recorded interleaving
+# ----------------------------------------------------------------------
+class TestInterleaving:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hosts=st.integers(min_value=1, max_value=5),
+        rounds=st.integers(min_value=1, max_value=12),
+        staleness=st.integers(min_value=0, max_value=4),
+        dur_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_bound_and_completeness(self, hosts, rounds, staleness, dur_seed):
+        rng = np.random.default_rng(dur_seed)
+        durs = {
+            (h, g): float(rng.uniform(0.5, 2.0))
+            for h in range(hosts)
+            for g in range(rounds)
+        }
+        sched = build_interleaving(
+            hosts, 0, rounds, staleness, lambda h, g: durs[(h, g)]
+        )
+        # Every host starts and ends every round exactly once; every
+        # round folds exactly once, in order.
+        starts = [e for e in sched.events if e.kind == "start"]
+        folds = [e for e in sched.events if e.kind == "fold"]
+        assert len(starts) == hosts * rounds
+        assert [f.round_index for f in folds] == list(range(rounds))
+        # The staleness bound holds at every start event.
+        assert sched.max_lead <= staleness
+        # A round's fold happens only after all its end events.
+        seen_ends: dict[int, int] = {}
+        for e in sched.events:
+            if e.kind == "end":
+                seen_ends[e.round_index] = seen_ends.get(e.round_index, 0) + 1
+            elif e.kind == "fold":
+                assert seen_ends.get(e.round_index) == hosts
+
+    def test_zero_staleness_is_lockstep(self):
+        sched = build_interleaving(3, 0, 4, 0, lambda h, g: 1.0 + 0.1 * h)
+        assert sched.max_lead == 0
+        # With s=0 no round g+1 event may precede fold g.
+        folds_done = 0
+        for e in sched.events:
+            if e.kind == "start":
+                assert e.round_index == folds_done
+            elif e.kind == "fold":
+                folds_done += 1
+
+
+# ----------------------------------------------------------------------
+# Degradation: SSP(s=0) == BSP, bitwise
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    plan=st.sampled_from(["opt", "naive", "pull"]),
+    fault_key=st.sampled_from(sorted(FAULTS)),
+    workers=st.sampled_from([1, 4]),
+)
+def test_ssp_zero_is_bitwise_bsp(plan, fault_key, workers):
+    ssp = make(
+        plan=plan, fault_key=fault_key, workers=workers, engine="async", staleness=0
+    ).train()
+    assert fingerprint(ssp) == bsp_fingerprint(plan, fault_key)
+
+
+# ----------------------------------------------------------------------
+# Determinism and the staleness bound at s > 0
+# ----------------------------------------------------------------------
+@settings(max_examples=6, deadline=None)
+@given(
+    plan=st.sampled_from(["opt", "pull"]),
+    staleness=st.sampled_from([1, 2, 4]),
+    workers=st.sampled_from([1, 4]),
+)
+def test_ssp_seed_determinism(plan, staleness, workers):
+    a = make(plan=plan, engine="async", staleness=staleness, workers=workers).train()
+    b = make(plan=plan, engine="async", staleness=staleness, workers=1).train()
+    assert fingerprint(a) == fingerprint(b)
+
+
+class TestStalenessBound:
+    def test_sanitized_runs_stay_clean(self):
+        # The engine's scheduler respects the bound; the checker would
+        # abort the run otherwise (SanitizeError at the fold).
+        for s in (0, 1, 2):
+            trainer = make(engine="async", staleness=s, sanitize=True)
+            trainer.train()
+            assert trainer.sanitize_findings == []
+
+    def test_checker_flags_violations(self):
+        checker = GluonSyncChecker()
+        # Lead 3 with bound 2 -> staleness-exceeded.
+        checker.note_async_step("embedding", 0, 3, 0, 2)
+        kinds = [f.kind for f in checker.findings]
+        assert "staleness-exceeded" in kinds
+        # Rounds must move forward per (field, host).
+        checker = GluonSyncChecker()
+        checker.note_async_step("embedding", 0, 1, 0, 4)
+        checker.note_async_step("embedding", 0, 0, 0, 4)
+        assert [f.kind for f in checker.findings] == ["clock-skew"]
+        # Folds advance one at a time once seeded.
+        checker = GluonSyncChecker()
+        checker.note_async_fold("embedding", 0)
+        checker.note_async_fold("embedding", 2)
+        assert [f.kind for f in checker.findings] == ["fold-skipped"]
+
+
+# ----------------------------------------------------------------------
+# Checkpointing mid-async
+# ----------------------------------------------------------------------
+class TestAsyncCheckpointing:
+    @pytest.mark.parametrize("staleness", [0, 2])
+    @pytest.mark.parametrize("plan", ["opt", "pull"])
+    def test_resume_replays_bit_identically(self, plan, staleness):
+        # Pausing drains the pipeline to the fold frontier, so the
+        # canonical checkpoint captures the whole state; resuming from
+        # the blob must match the same trainer continuing past the
+        # pause, bitwise, and be deterministic across resumes.
+        t1 = make(plan=plan, engine="async", staleness=staleness)
+        t1.train(until_round=4)
+        blob = t1.save_checkpoint()
+        continued = t1.train().model
+        t2 = make(plan=plan, engine="async", staleness=staleness)
+        t2.load_checkpoint(blob)
+        resumed = t2.train().model
+        assert resumed == continued
+        t3 = make(plan=plan, engine="async", staleness=staleness)
+        t3.load_checkpoint(blob)
+        assert t3.train().model == resumed
+
+    def test_s0_resume_matches_uninterrupted_bsp(self):
+        # At s=0 the drain barrier coincides with BSP's round barrier,
+        # so a paused-and-resumed async run equals the uninterrupted
+        # BSP run exactly.
+        t1 = make(engine="async", staleness=0)
+        t1.train(until_round=3)
+        t2 = make(engine="async", staleness=0)
+        t2.load_checkpoint(t1.save_checkpoint())
+        assert t2.train().model == make().train().model
+
+    def test_checkpoints_are_engine_scoped(self):
+        t1 = make(engine="async", staleness=2)
+        t1.train(until_round=2)
+        blob = t1.save_checkpoint()
+        with pytest.raises(ValueError, match="different training configuration"):
+            make().load_checkpoint(blob)
+        # s=0 degrades to BSP, checkpoints included: the fingerprints
+        # are interchangeable in both directions.
+        t2 = make(engine="async", staleness=0)
+        t2.train(until_round=2)
+        make().load_checkpoint(t2.save_checkpoint())
+
+
+# ----------------------------------------------------------------------
+# The wait bucket
+# ----------------------------------------------------------------------
+class TestWaitAccounting:
+    def test_bsp_wait_is_barrier_slack(self):
+        trainer = GraphWord2Vec(
+            corpus(),
+            PARAMS,
+            num_hosts=HOSTS,
+            seed=SEED,
+            host_speed_factors=[1.0, 3.0, 1.5],
+        )
+        b = trainer.train().report.breakdown
+        assert b.wait_s > 0
+        assert b.compute_s == pytest.approx(trainer.metrics.modeled_busy_s())
+        assert b.compute_s + b.wait_s == pytest.approx(
+            trainer.metrics.modeled_compute_s()
+        )
+
+    def test_ssp_slack_shrinks_under_stragglers(self):
+        # Bounded staleness exists to absorb straggler slack: under a
+        # persistent straggler schedule SSP(s=2) must wait strictly less
+        # than BSP on the same workload.
+        faults = FaultConfig(straggler_prob=0.6, straggler_factor=(4.0, 4.0))
+        bsp = GraphWord2Vec(
+            corpus(), PARAMS, num_hosts=HOSTS, seed=SEED, faults=faults
+        ).train()
+        ssp = GraphWord2Vec(
+            corpus(),
+            PARAMS,
+            num_hosts=HOSTS,
+            seed=SEED,
+            faults=faults,
+            engine="async",
+            staleness=2,
+        ).train()
+        assert ssp.report.breakdown.wait_s < bsp.report.breakdown.wait_s
+
+    def test_async_timeline_is_exposed(self):
+        trainer = make(engine="async", staleness=1)
+        trainer.train()
+        timeline = trainer.async_timeline
+        assert timeline is not None
+        assert len(timeline.steps) == HOSTS * trainer.sync_rounds * PARAMS.epochs
+        assert len(timeline.folds) == trainer.sync_rounds * PARAMS.epochs
+        last_step_end = max(start + dur for _, _, start, dur in timeline.steps)
+        assert timeline.makespan_s >= last_step_end > 0
+        # The Chrome trace renders it without error and covers all rows.
+        from repro.cluster.trace import build_async_chrome_trace
+
+        events = build_async_chrome_trace(
+            timeline, trainer.network.phase_records, trainer.network_model
+        )
+        tids = {e["tid"] for e in events}
+        assert set(range(HOSTS + 1)) <= tids
+        assert any(e.get("cat") == "communication" for e in events)

@@ -201,9 +201,15 @@ class TestStragglerAccounting:
         # ...and the breakdown's buckets add up to the total.
         b = result.report.breakdown
         assert b.total_s == pytest.approx(
-            b.compute_s + b.communication_s + b.inspection_s + b.recovery_s
+            b.compute_s + b.communication_s + b.inspection_s + b.recovery_s + b.wait_s
         )
-        assert b.compute_s == pytest.approx(trainer.metrics.modeled_compute_s())
+        # Busy compute + barrier wait spans the compute critical path: the
+        # heterogeneous factors make the wait bucket strictly positive.
+        assert b.compute_s == pytest.approx(trainer.metrics.modeled_busy_s())
+        assert b.compute_s + b.wait_s == pytest.approx(
+            trainer.metrics.modeled_compute_s()
+        )
+        assert b.wait_s > 0.0
         assert b.recovery_s == 0.0
 
     def test_scheduled_straggler_stretches_round_max(self):

@@ -28,12 +28,17 @@ class TestBuildChromeTrace:
         run_fake_round(metrics, net)
         events = build_chrome_trace(metrics, net.phase_records, NetworkModel())
         kinds = {e.get("cat") for e in events if e["ph"] == "X"}
-        assert kinds == {"compute", "communication"}
-        # Two compute events (one per host) + two comm phases.
+        assert kinds == {"compute", "communication", "wait"}
+        # Two compute events (one per host) + two comm phases; the fast
+        # host idles at the barrier (0.3 - 0.1 = 0.2s wait slice).
         compute = [e for e in events if e.get("cat") == "compute"]
         comm = [e for e in events if e.get("cat") == "communication"]
+        waits = [e for e in events if e.get("cat") == "wait"]
         assert len(compute) == 2
         assert len(comm) == 2
+        assert len(waits) == 1
+        assert waits[0]["tid"] == 0
+        assert waits[0]["dur"] == pytest.approx(0.2 * 1e6)
         # Communication starts after the slowest host's compute (0.3s).
         assert min(c["ts"] for c in comm) >= 0.3 * 1e6 - 1
 

@@ -178,6 +178,7 @@ class TestZeroOverheadWhenDisabled:
             shadowed.report.breakdown.compute_s
             + shadowed.report.breakdown.communication_s
             + shadowed.report.breakdown.inspection_s
+            + shadowed.report.breakdown.wait_s
         )
         assert shadowed.report.faults is not None
         assert shadowed.report.faults.total_faults == 0
